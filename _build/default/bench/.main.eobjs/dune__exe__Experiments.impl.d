@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Combined Consensus Domain Fmt Groupelect Int64 Leaderelect List Lowerbound Multicore Option Primitives Printf Random Ratrace Rtas Sim String Unix

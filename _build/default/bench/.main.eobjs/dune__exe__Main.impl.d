@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Experiments Fmt Groupelect Hashtbl Instance Int64 List Lowerbound Measure Multicore Primitives Random Ratrace Rtas Sim Staged Sys Test Time Toolkit

@@ -1,0 +1,174 @@
+(* Command-line driver: run a single election or TAS with a chosen
+   algorithm, adversary, size and seed, and print the outcome.
+
+   dune exec bin/rtas_cli.exe -- run --algorithm log* -n 64 -k 16
+   dune exec bin/rtas_cli.exe -- list *)
+
+open Cmdliner
+
+let algorithm =
+  let doc =
+    Printf.sprintf "Algorithm to run; one of: %s."
+      (String.concat ", " (Rtas.Registry.names ()))
+  in
+  Arg.(value & opt string "log*" & info [ "a"; "algorithm" ] ~docv:"NAME" ~doc)
+
+let n_arg =
+  Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"System size (max processes).")
+
+let k_arg =
+  Arg.(value & opt int 16 & info [ "k" ] ~docv:"K" ~doc:"Participants (contention).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let adversary_arg =
+  let doc =
+    "Adversary: round-robin, random (oblivious), attack (adaptive \
+     ascending-location), or crashy (random with crashes)."
+  in
+  Arg.(value & opt string "random" & info [ "adversary" ] ~docv:"ADV" ~doc)
+
+let tas_arg =
+  Arg.(value & flag & info [ "tas" ] ~doc:"Wrap the election as a test-and-set.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.")
+
+let make_adversary name seed =
+  match name with
+  | "round-robin" -> Sim.Adversary.round_robin ()
+  | "random" -> Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 31))
+  | "attack" -> Leaderelect.Attacks.ascending_location ()
+  | "crashy" ->
+      Sim.Adversary.random_crashes ~seed:(Int64.of_int (seed * 17))
+        ~crash_prob:0.02
+        (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 31)))
+  | other -> failwith (Printf.sprintf "unknown adversary %S" other)
+
+let run_cmd =
+  let run algorithm n k seed adversary tas trace =
+    let adv = make_adversary adversary seed in
+    let outcome =
+      if tas then
+        Rtas.Election.run_tas ~seed:(Int64.of_int seed) ~adversary:adv
+          ~algorithm ~n ~k ()
+      else
+        Rtas.Election.run ~seed:(Int64.of_int seed) ~adversary:adv ~algorithm
+          ~n ~k ()
+    in
+    Fmt.pr "%a@." Rtas.Election.pp_outcome outcome;
+    Fmt.pr "results: %a@."
+      Fmt.(array ~sep:sp (option ~none:(any "-") int))
+      outcome.Rtas.Election.results;
+    if trace then
+      List.iter
+        (fun e -> Fmt.pr "%a@." Sim.Op.pp_event e)
+        (Sim.Sched.trace outcome.Rtas.Election.sched)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one election (or TAS) and print the outcome.")
+    Term.(
+      const run $ algorithm $ n_arg $ k_arg $ seed_arg $ adversary_arg
+      $ tas_arg $ trace_arg)
+
+let list_cmd =
+  let list () =
+    List.iter
+      (fun e ->
+        Fmt.pr "%-16s %-30s %-22s %-12s (%s)@." e.Rtas.Registry.name
+          e.Rtas.Registry.steps e.Rtas.Registry.space
+          (Fmt.str "%a" Sim.Sched.pp_klass e.Rtas.Registry.adversary)
+          e.Rtas.Registry.reference)
+      Rtas.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the available algorithms and their bounds.")
+    Term.(const list $ const ())
+
+let sweep_cmd =
+  let trials_arg =
+    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"T" ~doc:"Trials per point.")
+  in
+  let sweep algorithm n adversary trials =
+    Fmt.pr "%8s %14s %12s %12s@." "k" "avg max steps" "avg rmrs" "registers";
+    let rec points k acc = if k > n then List.rev acc else points (k * 4) (k :: acc) in
+    List.iter
+      (fun k ->
+        let steps = ref [] and rmrs = ref [] and regs = ref 0 in
+        for seed = 1 to trials do
+          let o =
+            Rtas.Election.run ~seed:(Int64.of_int seed)
+              ~adversary:(make_adversary adversary seed) ~algorithm ~n ~k ()
+          in
+          steps := float_of_int o.Rtas.Election.max_steps :: !steps;
+          rmrs := float_of_int o.Rtas.Election.max_rmrs :: !rmrs;
+          regs := o.Rtas.Election.registers
+        done;
+        Fmt.pr "%8d %14.1f %12.1f %12d@." k (Sim.Stats.mean !steps)
+          (Sim.Stats.mean !rmrs) !regs)
+      (points 2 [])
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep contention k and print step/RMR complexity curves.")
+    Term.(const sweep $ algorithm $ n_arg $ adversary_arg $ trials_arg)
+
+let covering_cmd =
+  let covering n =
+    Fmt.pr "Theorem 5.1 machinery at n = %d:@." n;
+    Fmt.pr "  f(n-4) = %d; guaranteed registers: %d@."
+      (Lowerbound.Covering.f ~n (n - 4))
+      (Lowerbound.Covering.register_lower_bound ~n);
+    List.iter
+      (fun (name, make) ->
+        let r = Lowerbound.Covering_exec.run ~make ~n ~seed:11L () in
+        Fmt.pr "  %-14s %a@." name Lowerbound.Covering_exec.pp_report r)
+      [
+        ("tournament", Leaderelect.Tournament.make);
+        ("ratrace-lean", Leaderelect.Rr_le.make_lean);
+      ]
+  in
+  let n_pow2 =
+    Arg.(value & opt int 32 & info [ "n" ] ~docv:"N" ~doc:"Power of two >= 8.")
+  in
+  Cmd.v
+    (Cmd.info "covering"
+       ~doc:"Run the Lemma 5.4 covering-argument rounds on real algorithms.")
+    Term.(const covering $ n_pow2)
+
+let yao_cmd =
+  let yao t trials =
+    let make () =
+      let mem = Sim.Memory.create () in
+      let le = Primitives.Le2.create mem in
+      let tas =
+        Primitives.Tas.create mem ~elect:(fun ctx ->
+            Primitives.Le2.elect le ctx ~port:(Sim.Ctx.pid ctx))
+      in
+      Array.init 2 (fun _ ctx -> Primitives.Tas.apply tas ctx)
+    in
+    let p = Lowerbound.Yao.measure ~trials ~make ~t () in
+    Fmt.pr
+      "t=%d: tested %d schedules; max Pr[>= t steps] = %.4f; 1/4^t = %.6f; %s@."
+      p.Lowerbound.Yao.t p.Lowerbound.Yao.schedules_tested
+      p.Lowerbound.Yao.max_prob p.Lowerbound.Yao.bound
+      (if p.Lowerbound.Yao.max_prob >= p.Lowerbound.Yao.bound then
+         "bound respected"
+       else "BOUND VIOLATED")
+  in
+  let t_arg = Arg.(value & opt int 4 & info [ "t" ] ~docv:"T" ~doc:"Step bound t.") in
+  let trials_arg =
+    Arg.(value & opt int 400 & info [ "trials" ] ~docv:"R" ~doc:"Runs per schedule.")
+  in
+  Cmd.v
+    (Cmd.info "yao" ~doc:"Reproduce the Theorem 6.1 two-process lower bound.")
+    Term.(const yao $ t_arg $ trials_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "rtas" ~version:"1.0.0"
+       ~doc:"Randomized test-and-set (Giakkoupis-Woelfel PODC 2012) playground.")
+    [ run_cmd; list_cmd; sweep_cmd; covering_cmd; yao_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/adversary_duel.ml: Fmt Int64 Leaderelect List Rtas Sim

@@ -1,0 +1,1 @@
+examples/consensus_demo.ml: Array Consensus Fmt Int64 Option Sim

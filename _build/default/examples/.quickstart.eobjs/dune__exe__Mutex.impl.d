@@ -1,0 +1,1 @@
+examples/mutex.ml: Atomic Domain Fmt Fun List Multicore Random

@@ -1,0 +1,1 @@
+examples/renaming_demo.ml: Array Fmt Leaderelect List Option Renaming Sim

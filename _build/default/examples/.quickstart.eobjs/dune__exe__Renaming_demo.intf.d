@@ -1,0 +1,1 @@
+examples/renaming_demo.mli:

@@ -1,0 +1,36 @@
+(* Quickstart: run the paper's O(log* k) leader election and the TAS
+   built from it, in the simulator.
+
+   dune exec examples/quickstart.exe *)
+
+let () =
+  Fmt.pr "== rtas quickstart ==@.@.";
+  (* 16 processes run a leader election dimensioned for up to 64, under
+     a uniformly random (oblivious) schedule. *)
+  let outcome =
+    Rtas.Election.run ~algorithm:"log*" ~n:64 ~k:16
+      ~adversary:(Sim.Adversary.random_oblivious ~seed:2024L)
+      ()
+  in
+  Fmt.pr "leader election (log*, k=16): %a@." Rtas.Election.pp_outcome outcome;
+
+  (* The same algorithm wrapped as a linearizable test-and-set: exactly
+     one caller sees the old value 0. *)
+  let tas =
+    Rtas.Election.run_tas ~algorithm:"log*" ~n:64 ~k:16
+      ~adversary:(Sim.Adversary.random_oblivious ~seed:7L)
+      ()
+  in
+  Fmt.pr "test-and-set: winner=p%a, return values = %a@."
+    Fmt.(option ~none:(any "?") int)
+    tas.Rtas.Election.winner
+    Fmt.(array ~sep:sp (option ~none:(any "-") int))
+    tas.Rtas.Election.results;
+
+  (* The full catalog. *)
+  Fmt.pr "@.catalog:@.";
+  List.iter
+    (fun e ->
+      Fmt.pr "  %-16s %-28s %-20s (%s)@." e.Rtas.Registry.name
+        e.Rtas.Registry.steps e.Rtas.Registry.space e.Rtas.Registry.reference)
+    Rtas.Registry.all

@@ -1,0 +1,1 @@
+lib/combined/combine.ml: Coroutine Leaderelect Primitives Ratrace

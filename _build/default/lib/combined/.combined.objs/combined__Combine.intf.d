@@ -1,0 +1,1 @@
+lib/combined/combine.mli: Leaderelect Sim

@@ -1,0 +1,1 @@
+lib/combined/coroutine.ml: Effect Sim

@@ -1,0 +1,37 @@
+(** Adversary independence (Section 4, Theorem 4.1).
+
+    Runs the lean RatRace and a weak-adversary leader election [A] in
+    parallel within each process, one step of each in alternation, and
+    reconciles them with an auxiliary 2-process election [LEtop]:
+
+    + a process that wins either execution stops the other and enters
+      [LEtop] (RatRace winner on port 0, [A] winner on port 1); the
+      [LEtop] winner wins;
+    + a process that loses RatRace stops [A] and loses;
+    + a process that loses [A] stops RatRace and loses — {e unless} it
+      has already won a splitter inside RatRace, in which case it keeps
+      running RatRace alone (this exception prevents executions in which
+      everybody loses).
+
+    The result has the step complexity of [A] against [A]'s weak
+    adversary and O(log k) against the adaptive adversary, with
+    Theta(n) registers plus the space of [A]. *)
+
+type t
+
+val create :
+  ?name:string ->
+  Sim.Memory.t ->
+  n:int ->
+  make_a:(Sim.Memory.t -> n:int -> Leaderelect.Le.t) ->
+  t
+
+val elect : t -> Sim.Ctx.t -> bool
+
+val to_le : t -> Leaderelect.Le.t
+
+val make_logstar : Sim.Memory.t -> n:int -> Leaderelect.Le.t
+(** Corollary 4.2, location-oblivious part: log* + RatRace. *)
+
+val make_loglog : Sim.Memory.t -> n:int -> Leaderelect.Le.t
+(** Corollary 4.2, R/W-oblivious part: log log + RatRace. *)

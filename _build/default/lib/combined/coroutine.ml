@@ -1,0 +1,50 @@
+type state =
+  | Running
+  | Finished of bool
+
+type t = {
+  mutable st : state;
+  mutable resume : (unit -> unit) option;
+}
+
+let spawn (body : unit -> bool) =
+  let t = { st = Running; resume = None } in
+  let open Effect.Deep in
+  let retc b =
+    t.st <- Finished b;
+    t.resume <- None
+  in
+  let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
+    fun eff ->
+    match eff with
+    | Sim.Ctx.Read_eff _ ->
+        Some
+          (fun k ->
+            t.resume <- Some (fun () -> continue k (Effect.perform eff)))
+    | Sim.Ctx.Write_eff _ ->
+        Some
+          (fun k ->
+            t.resume <- Some (fun () -> continue k (Effect.perform eff)))
+    | Sim.Ctx.Flip_eff _ ->
+        (* Local step: forward to the scheduler without suspending. *)
+        Some (fun k -> continue k (Effect.perform eff))
+    | Sim.Ctx.Flip_geom_eff _ ->
+        Some (fun k -> continue k (Effect.perform eff))
+    | _ -> None
+  in
+  match_with body () { retc; exnc = raise; effc };
+  t
+
+let state t = t.st
+
+let step t =
+  match (t.st, t.resume) with
+  | Running, Some resume ->
+      t.resume <- None;
+      resume ()
+  | Running, None -> ()
+  | Finished _, _ -> ()
+
+let abandon t =
+  t.resume <- None;
+  t.st <- Finished false

@@ -1,0 +1,29 @@
+(** In-process cooperative interleaving of two shared-memory
+    computations.
+
+    The Section 4 combiner runs RatRace and a weak-adversary algorithm
+    within one process, one shared-memory step of each in alternation. A
+    {!t} wraps a computation with a local effect handler: every
+    read/write suspends it, and {!step} forwards exactly one pending
+    operation to the real scheduler (so it costs exactly one step of the
+    enclosing simulated process). Coin flips are local and are forwarded
+    immediately without suspending. *)
+
+type t
+
+type state =
+  | Running
+  | Finished of bool
+
+val spawn : (unit -> bool) -> t
+(** Runs the computation up to its first shared-memory operation. *)
+
+val state : t -> state
+
+val step : t -> unit
+(** Perform the pending operation and run to the next one (or to
+    completion). No-op if already finished. Must be called from within a
+    simulated process (the operation is re-performed to the scheduler). *)
+
+val abandon : t -> unit
+(** Discard a running computation; subsequent {!step}s are no-ops. *)

@@ -1,0 +1,1 @@
+lib/consensus/adopt_commit.ml: Array Printf Sim

@@ -1,0 +1,1 @@
+lib/consensus/consensus2.ml: Array Primitives Printf Sim

@@ -1,0 +1,1 @@
+lib/consensus/consensus_n.ml: Adopt_commit Array Conciliator Printf

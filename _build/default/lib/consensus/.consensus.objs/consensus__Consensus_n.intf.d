@@ -1,0 +1,1 @@
+lib/consensus/consensus_n.mli: Sim

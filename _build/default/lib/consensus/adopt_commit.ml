@@ -1,0 +1,27 @@
+type t = {
+  a : Sim.Register.t array;  (* proposal flags, indexed by value *)
+  b : Sim.Register.t array;  (* stake flags, indexed by value *)
+}
+
+type outcome = Commit of int | Adopt of int
+
+let create ?(name = "ac") mem =
+  {
+    a = Array.init 2 (fun v -> Sim.Register.create ~name:(Printf.sprintf "%s.a%d" name v) mem);
+    b = Array.init 2 (fun v -> Sim.Register.create ~name:(Printf.sprintf "%s.b%d" name v) mem);
+  }
+
+let decide t ctx v =
+  if v <> 0 && v <> 1 then invalid_arg "Adopt_commit.decide: v must be 0 or 1";
+  Sim.Ctx.write ctx t.a.(v) 1;
+  if Sim.Ctx.read ctx t.a.(1 - v) = 0 then begin
+    Sim.Ctx.write ctx t.b.(v) 1;
+    if Sim.Ctx.read ctx t.a.(1 - v) = 0 then Commit v
+    else Adopt v
+  end
+  else begin
+    (* Conflict: at most one stake flag is ever set, and a committer of
+       the opposite value staked before our proposal write, so its flag
+       is visible here; a committer of our own value needs no action. *)
+    if Sim.Ctx.read ctx t.b.(1 - v) = 1 then Adopt (1 - v) else Adopt v
+  end

@@ -1,0 +1,31 @@
+(** Deterministic wait-free binary adopt–commit object.
+
+    [decide] returns [Commit v] or [Adopt v] with:
+    - {e validity}: the returned value was somebody's input;
+    - {e coherence}: if any caller gets [Commit v], every caller's
+      returned value is [v];
+    - {e convergence}: if all callers input the same [v], all get
+      [Commit v].
+
+    Adopt–commit objects are the safety half of round-based randomized
+    consensus (Aspnes, PODC 2010): a round's conciliator only makes
+    preferences {e probably} equal; the adopt–commit makes acting on
+    them safe.
+
+    The implementation uses four registers. Phase 1 publishes the
+    proposal in [A[v]] and checks the opposite flag; a process that saw
+    no opposite proposal stakes [B[v]] and rechecks — committing only if
+    the opposite flag is still clear, which orders every conflicting
+    process after the stake, so conflicted processes always observe the
+    committer's [B] flag. At most one of [B[0]], [B[1]] is ever set, and
+    opposite-valued processes can never both pass the phase-1 check.
+    The object is model-checked exhaustively in the test suite. *)
+
+type t
+
+type outcome = Commit of int | Adopt of int
+
+val create : ?name:string -> Sim.Memory.t -> t
+
+val decide : t -> Sim.Ctx.t -> int -> outcome
+(** [decide t ctx v] with [v] 0 or 1; at most one call per process. *)

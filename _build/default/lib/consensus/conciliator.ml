@@ -1,0 +1,41 @@
+type t = {
+  c : Sim.Register.t;  (* value + 1; 0 = empty *)
+  probs : float array;
+}
+
+let resolution = 1 lsl 20
+
+let create ?(name = "conc") ?rounds mem ~n =
+  if n < 1 then invalid_arg "Conciliator.create: n must be >= 1";
+  let rounds =
+    match rounds with
+    | Some r -> r
+    | None ->
+        let rec log2up acc v = if v <= 1 then acc else log2up (acc + 1) (v / 2) in
+        log2up 0 n + 2
+  in
+  {
+    c = Sim.Register.create ~name:(name ^ ".c") mem;
+    probs =
+      Array.init (max 1 rounds) (fun i ->
+          Float.min 1.0 (float_of_int (1 lsl i) /. float_of_int n));
+  }
+
+let conciliate t ctx v =
+  let rec go i =
+    if i >= Array.length t.probs then v
+    else
+      let seen = Sim.Ctx.read ctx t.c in
+      if seen <> 0 then seen - 1
+      else begin
+        let threshold =
+          max 1 (int_of_float (t.probs.(i) *. float_of_int resolution))
+        in
+        if Sim.Ctx.flip ctx resolution < threshold then begin
+          Sim.Ctx.write ctx t.c (v + 1);
+          v
+        end
+        else go (i + 1)
+      end
+  in
+  go 0

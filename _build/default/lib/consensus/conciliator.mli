@@ -1,0 +1,20 @@
+(** Probabilistic-write conciliator (Chor–Israeli–Li style; Aspnes,
+    PODC 2010).
+
+    A conciliator makes all callers' outputs equal {e with constant
+    probability} against an oblivious adversary; safety is restored by
+    the adopt–commit object, so the conciliator itself only promises
+    validity (its output is some caller's input).
+
+    Each caller alternates reading the shared register — adopting any
+    value it finds — with writing its own preference with a doubling
+    probability, so that with constant probability some write lands
+    alone before anyone else's read. *)
+
+type t
+
+val create : ?name:string -> ?rounds:int -> Sim.Memory.t -> n:int -> t
+(** [rounds] defaults to [log2 n + 2] probability doublings from [1/n]. *)
+
+val conciliate : t -> Sim.Ctx.t -> int -> int
+(** At most one call per process. *)

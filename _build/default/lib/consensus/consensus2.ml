@@ -1,0 +1,42 @@
+type t = {
+  proposals : Sim.Register.t array;  (* indexed by port; value v+1, 0 = none *)
+  tas : Sim.Ctx.t -> port:int -> int;
+}
+
+let from_tas ?(name = "cons2") mem ~tas =
+  {
+    proposals =
+      Array.init 2 (fun p ->
+          Sim.Register.create ~name:(Printf.sprintf "%s.prop[%d]" name p) mem);
+    tas;
+  }
+
+let from_le2 ?(name = "cons2") mem =
+  let le = Primitives.Le2.create ~name:(name ^ ".le") mem in
+  let doorway = Sim.Register.create ~name:(name ^ ".door") mem in
+  let tas ctx ~port =
+    if Sim.Ctx.read ctx doorway = 1 then 1
+    else if Primitives.Le2.elect le ctx ~port then 0
+    else begin
+      Sim.Ctx.write ctx doorway 1;
+      1
+    end
+  in
+  from_tas ~name mem ~tas
+
+let propose t ctx ~port v =
+  if port <> 0 && port <> 1 then invalid_arg "Consensus2.propose: bad port";
+  Sim.Ctx.write ctx t.proposals.(port) (v + 1);
+  if t.tas ctx ~port = 0 then v
+  else
+    (* The winner published its proposal before entering the TAS, and we
+       can only have lost after the winner took steps, so the read below
+       returns a real value. *)
+    Sim.Ctx.read ctx t.proposals.(1 - port) - 1
+
+type tas = t
+
+let tas_from_consensus t = t
+
+let apply t ctx ~port =
+  if propose t ctx ~port port = port then 0 else 1

@@ -1,0 +1,43 @@
+(** 2-process consensus from TAS and back, demonstrating the equivalence
+    the paper's introduction states: {e "in systems with two processes, a
+    consensus protocol can be implemented deterministically from a TAS
+    object and vice versa"}.
+
+    {!from_tas} builds consensus from one 2-process TAS plus two proposal
+    registers: each process publishes its proposal, applies the TAS, and
+    decides its own proposal if it won (TAS returned 0) or the other's if
+    it lost. Losing implies the winner already took election steps, which
+    happen after the winner's proposal write — so the read is never
+    early. {!tas_from_consensus} closes the loop: a TAS call proposes the
+    caller's port and returns 0 iff the consensus decides for it.
+
+    Both constructions are deterministic wrappers; all randomness lives
+    in the underlying TAS. *)
+
+type t
+
+val from_tas :
+  ?name:string ->
+  Sim.Memory.t ->
+  tas:(Sim.Ctx.t -> port:int -> int) ->
+  t
+(** [tas] must be a one-shot 2-process TAS: returns 0 to exactly one of
+    the two ports. *)
+
+val from_le2 : ?name:string -> Sim.Memory.t -> t
+(** Consensus from a fresh {!Primitives.Le2}-backed TAS. *)
+
+val propose : t -> Sim.Ctx.t -> port:int -> int -> int
+(** [propose t ctx ~port v] returns the decided value. Agreement: both
+    callers return the same value. Validity: the decision is one of the
+    proposed values. [port] is 0 or 1; at most one caller per port, one
+    call each. *)
+
+type tas
+
+val tas_from_consensus : t -> tas
+(** Build a TAS from a consensus object — typically one built by
+    {!from_tas}, closing the equivalence loop. *)
+
+val apply : tas -> Sim.Ctx.t -> port:int -> int
+(** Returns 0 to exactly one of the two callers, 1 to the other. *)

@@ -1,0 +1,31 @@
+type round = {
+  ac : Adopt_commit.t;
+  conc : Conciliator.t;
+}
+
+type t = { rounds : round array }
+
+let create ?(name = "consn") ?(max_rounds = 64) mem ~n =
+  if n < 1 then invalid_arg "Consensus_n.create: n must be >= 1";
+  {
+    rounds =
+      Array.init max_rounds (fun r ->
+          {
+            ac = Adopt_commit.create ~name:(Printf.sprintf "%s.ac[%d]" name r) mem;
+            conc =
+              Conciliator.create ~name:(Printf.sprintf "%s.conc[%d]" name r) mem ~n;
+          });
+  }
+
+let propose t ctx v =
+  if v <> 0 && v <> 1 then invalid_arg "Consensus_n.propose: v must be 0 or 1";
+  let rec round r pref =
+    if r >= Array.length t.rounds then
+      failwith "Consensus_n.propose: out of rounds (astronomically unlikely)"
+    else
+      match Adopt_commit.decide t.rounds.(r).ac ctx pref with
+      | Adopt_commit.Commit w -> w
+      | Adopt_commit.Adopt w ->
+          round (r + 1) (Conciliator.conciliate t.rounds.(r).conc ctx w)
+  in
+  round 0 v

@@ -1,0 +1,29 @@
+(** n-process randomized binary consensus against the oblivious
+    adversary, in the round-based conciliator / adopt–commit
+    architecture (Aspnes, PODC 2010) that the paper's conclusion points
+    to as the mirror of the TAS story (Aspnes' PODC 2012 algorithm
+    strengthens the conciliators with the same sifting idea as the AA
+    TAS).
+
+    Each round [r] holds one adopt–commit object and one conciliator. A
+    process entering round [r] with preference [p] first runs the
+    adopt–commit: [Commit w] decides [w] immediately — coherence makes
+    every contemporary either commit [w] or adopt [w], so all later
+    preferences equal [w] and everyone else commits by round [r + 1] —
+    while [Adopt w] updates the preference, which the conciliator then
+    makes {e probably} unanimous for the next round.
+
+    Agreement and validity are absolute (they rest only on the
+    deterministic adopt–commit); only termination is randomized, with
+    expected O(1) rounds against the oblivious adversary. Rounds are
+    pre-allocated; running out (probability exponentially small in
+    [max_rounds]) raises [Failure]. *)
+
+type t
+
+val create : ?name:string -> ?max_rounds:int -> Sim.Memory.t -> n:int -> t
+(** [max_rounds] defaults to 64. Space: O(max_rounds · log n) registers. *)
+
+val propose : t -> Sim.Ctx.t -> int -> int
+(** [propose t ctx v] with [v] 0 or 1 returns the decided value. At most
+    one call per process; at most [n] processes. *)

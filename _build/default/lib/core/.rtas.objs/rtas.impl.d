@@ -1,0 +1,1 @@
+lib/core/rtas.ml: Combined Consensus Election Groupelect Leaderelect Lowerbound Multicore Primitives Ratrace Registry Renaming Sim

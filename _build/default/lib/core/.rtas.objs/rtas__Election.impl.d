@@ -1,0 +1,1 @@
+lib/core/election.ml: Array Fmt Leaderelect Primitives Printf Registry Sim String

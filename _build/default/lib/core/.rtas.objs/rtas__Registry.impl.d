@@ -1,0 +1,1 @@
+lib/core/registry.ml: Combined Leaderelect List Sim

@@ -1,0 +1,80 @@
+type entry = {
+  name : string;
+  make : Sim.Memory.t -> n:int -> Leaderelect.Le.t;
+  adversary : Sim.Sched.klass;
+  steps : string;
+  space : string;
+  reference : string;
+}
+
+let all =
+  [
+    {
+      name = "log*";
+      make = Leaderelect.Le_logstar.make;
+      adversary = Sim.Sched.Location_oblivious;
+      steps = "O(log* k)";
+      space = "O(n)";
+      reference = "Theorem 2.3";
+    };
+    {
+      name = "loglog";
+      make = Leaderelect.Le_loglog.make;
+      adversary = Sim.Sched.Rw_oblivious;
+      steps = "O(log log k)";
+      space = "O(n)";
+      reference = "Theorem 2.4";
+    };
+    {
+      name = "aa";
+      make = Leaderelect.Aa.make;
+      adversary = Sim.Sched.Rw_oblivious;
+      steps = "O(log log n)";
+      space = "O(n) (orig. O(n^3))";
+      reference = "Alistarh-Aspnes 2011";
+    };
+    {
+      name = "ratrace";
+      make = Leaderelect.Rr_le.make_original;
+      adversary = Sim.Sched.Adaptive;
+      steps = "O(log k)";
+      space = "Theta(n^3)";
+      reference = "Alistarh et al. 2010";
+    };
+    {
+      name = "ratrace-lean";
+      make = Leaderelect.Rr_le.make_lean;
+      adversary = Sim.Sched.Adaptive;
+      steps = "O(log k)";
+      space = "Theta(n)";
+      reference = "Section 3";
+    };
+    {
+      name = "tournament";
+      make = Leaderelect.Tournament.make;
+      adversary = Sim.Sched.Adaptive;
+      steps = "O(log n)";
+      space = "Theta(n)";
+      reference = "Afek et al. 1992";
+    };
+    {
+      name = "combined-log*";
+      make = Combined.Combine.make_logstar;
+      adversary = Sim.Sched.Location_oblivious;
+      steps = "O(log* k) / O(log k) adaptive";
+      space = "Theta(n)";
+      reference = "Corollary 4.2";
+    };
+    {
+      name = "combined-loglog";
+      make = Combined.Combine.make_loglog;
+      adversary = Sim.Sched.Rw_oblivious;
+      steps = "O(log log k) / O(log k) adaptive";
+      space = "Theta(n)";
+      reference = "Corollary 4.2";
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let names () = List.map (fun e -> e.name) all

@@ -1,0 +1,20 @@
+(** Catalog of every leader-election implementation in the library, with
+    the complexity bounds the paper (or its cited baselines) proves for
+    each. Used by the benchmarks, the CLI and the examples to iterate
+    over algorithms uniformly. *)
+
+type entry = {
+  name : string;
+  make : Sim.Memory.t -> n:int -> Leaderelect.Le.t;
+  adversary : Sim.Sched.klass;
+      (** Strongest adversary class against which the step bound holds. *)
+  steps : string;  (** Expected step complexity, as stated in the paper. *)
+  space : string;  (** Register count. *)
+  reference : string;
+}
+
+val all : entry list
+
+val find : string -> entry option
+
+val names : unit -> string list

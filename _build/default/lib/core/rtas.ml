@@ -1,0 +1,48 @@
+(** Randomized test-and-set from atomic registers — a reproduction of
+    Giakkoupis and Woelfel, {e On the Time and Space Complexity of
+    Randomized Test-And-Set} (PODC 2012).
+
+    Entry points:
+    - {!Election} runs any of the algorithms in one call;
+    - {!Registry} catalogs the algorithms and their proven bounds;
+    - the re-exported libraries give full access to every layer, from
+      the shared-memory simulator ({!Sim}) to the lower-bound machinery
+      ({!Lowerbound}) and the real-multicore implementations
+      ({!Multicore}). *)
+
+module Registry = Registry
+module Election = Election
+
+(** The simulation substrate: registers, effect-based processes,
+    adversarial schedulers, bounded model checking. *)
+module Sim = Sim
+
+(** Splitters, 2-/3-process leader election, TAS-from-LE. *)
+module Primitives = Primitives
+
+(** Group Election objects (Section 2): Figure 1, sifting, dummy. *)
+module Groupelect = Groupelect
+
+(** RatRace structures (Section 3): elimination paths, primary tree,
+    backup grid, classic and lean RatRace. *)
+module Ratrace = Ratrace
+
+(** Leader elections (Section 2): the chain construction, log*, loglog,
+    AA and tournament baselines. *)
+module Leaderelect = Leaderelect
+
+(** Adversary independence (Section 4). *)
+module Combined = Combined
+
+(** Lower bounds (Sections 5-6): covering recurrences, hitting times,
+    Yao-style 2-process experiments. *)
+module Lowerbound = Lowerbound
+
+(** Real multicore implementations on [Atomic.t]. *)
+module Multicore = Multicore
+
+(** 2-process consensus from TAS and back (paper introduction). *)
+module Consensus = Consensus
+
+(** Renaming applications: TAS line and Moir-Anderson splitter grid. *)
+module Renaming = Renaming

@@ -1,0 +1,1 @@
+lib/groupelect/ge.ml: Sim

@@ -1,0 +1,1 @@
+lib/groupelect/ge_dummy.ml: Ge

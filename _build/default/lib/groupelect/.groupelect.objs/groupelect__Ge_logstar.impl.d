@@ -1,0 +1,1 @@
+lib/groupelect/ge_logstar.ml: Array Ge Printf Sim

@@ -1,0 +1,1 @@
+lib/groupelect/ge_logstar.mli: Ge Sim

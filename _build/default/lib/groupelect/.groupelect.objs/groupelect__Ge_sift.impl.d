@@ -1,0 +1,1 @@
+lib/groupelect/ge_sift.ml: Array Ge List Sim

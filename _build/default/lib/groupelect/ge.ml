@@ -1,0 +1,4 @@
+type t = {
+  ge_name : string;
+  elect : Sim.Ctx.t -> bool;
+}

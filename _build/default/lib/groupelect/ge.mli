@@ -1,0 +1,11 @@
+(** Group Election (Section 2.1 of the paper).
+
+    A GroupElect object provides [elect], returning [true] (elected) or
+    [false]. If some processes call [elect], at least one gets elected.
+    Its quality is its {e performance parameter} [f]: the expected number
+    of elected processes when [k] processes participate. *)
+
+type t = {
+  ge_name : string;
+  elect : Sim.Ctx.t -> bool;  (** At most one call per process. *)
+}

@@ -1,0 +1,1 @@
+let create ?(name = "dummy") () = { Ge.ge_name = name; elect = (fun _ -> true) }

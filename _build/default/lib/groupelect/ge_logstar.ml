@@ -1,0 +1,23 @@
+let level n =
+  let rec ceil_log2 acc v = if v <= 1 then acc else ceil_log2 (acc + 1) ((v + 1) / 2) in
+  max 1 (ceil_log2 0 n)
+
+let registers ~n = level n + 2
+
+let create ?(name = "ge") mem ~n =
+  let l = level n in
+  let r =
+    Array.init (l + 1) (fun i ->
+        Sim.Register.create ~name:(Printf.sprintf "%s.R[%d]" name (i + 1)) mem)
+  in
+  let flag = Sim.Register.create ~name:(name ^ ".flag") mem in
+  let elect ctx =
+    if Sim.Ctx.read ctx flag = 1 then false
+    else begin
+      Sim.Ctx.write ctx flag 1;
+      let x = Sim.Ctx.flip_geometric ctx l in
+      Sim.Ctx.write ctx r.(x - 1) 1;
+      Sim.Ctx.read ctx r.(x) = 0
+    end
+  in
+  { Ge.ge_name = name; elect }

@@ -1,0 +1,1 @@
+lib/leaderelect/aa.ml: Array Chain Groupelect Le Primitives Printf Ratrace

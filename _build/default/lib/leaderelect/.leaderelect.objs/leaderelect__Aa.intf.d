@@ -1,0 +1,1 @@
+lib/leaderelect/aa.mli: Le Sim

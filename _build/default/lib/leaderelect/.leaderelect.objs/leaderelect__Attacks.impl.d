@@ -1,0 +1,1 @@
+lib/leaderelect/attacks.ml: Array Hashtbl List Option Sim String

@@ -1,0 +1,1 @@
+lib/leaderelect/attacks.mli: Sim

@@ -1,0 +1,1 @@
+lib/leaderelect/chain.ml: Array Groupelect Primitives Printf

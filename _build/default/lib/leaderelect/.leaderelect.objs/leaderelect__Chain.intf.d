@@ -1,0 +1,1 @@
+lib/leaderelect/chain.mli: Groupelect Sim

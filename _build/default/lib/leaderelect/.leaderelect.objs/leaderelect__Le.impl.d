@@ -1,0 +1,1 @@
+lib/leaderelect/le.ml: Array List Sim

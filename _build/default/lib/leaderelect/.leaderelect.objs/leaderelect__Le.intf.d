@@ -1,0 +1,1 @@
+lib/leaderelect/le.mli: Sim

@@ -1,0 +1,1 @@
+lib/leaderelect/le_loglog.ml: Array Chain Groupelect Le List Primitives Printf

@@ -1,0 +1,1 @@
+lib/leaderelect/le_loglog.mli: Le Sim

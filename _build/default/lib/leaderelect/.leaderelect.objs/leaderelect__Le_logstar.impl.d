@@ -1,0 +1,1 @@
+lib/leaderelect/le_logstar.ml: Array Chain Groupelect Le Printf

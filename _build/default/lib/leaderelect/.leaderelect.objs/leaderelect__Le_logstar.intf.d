@@ -1,0 +1,1 @@
+lib/leaderelect/le_logstar.mli: Le Sim

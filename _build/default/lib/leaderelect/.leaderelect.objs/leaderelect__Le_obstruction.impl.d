@@ -1,0 +1,1 @@
+lib/leaderelect/le_obstruction.ml: Array Le Primitives Printf Sim

@@ -1,0 +1,1 @@
+lib/leaderelect/le_obstruction.mli: Le Sim

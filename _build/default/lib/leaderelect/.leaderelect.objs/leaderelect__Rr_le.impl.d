@@ -1,0 +1,1 @@
+lib/leaderelect/rr_le.ml: Le Ratrace

@@ -1,0 +1,1 @@
+lib/leaderelect/tournament.ml: Array Le Primitives Printf Sim

@@ -1,0 +1,1 @@
+lib/leaderelect/tournament.mli: Le Sim

@@ -1,0 +1,26 @@
+(** Baseline: the Alistarh–Aspnes leader election (DISC 2011),
+    non-adaptive O(log log n) expected steps against the R/W-oblivious
+    adversary.
+
+    Theta(log log n) sifting levels (within the Section 2.1 chain, so a
+    level's sifting survivors still face that level's splitter) reduce
+    the crowd to an expected constant; processes that exhaust the
+    sifting levels fall through to a RatRace. In the original paper the
+    fallback is the Theta(n^3) RatRace; we use it with the lean
+    Theta(n) variant by default, with an option to use the original for
+    faithful space accounting. *)
+
+type t
+
+val create :
+  ?name:string -> ?original_fallback:bool -> Sim.Memory.t -> n:int -> t
+
+val elect : t -> Sim.Ctx.t -> bool
+
+val to_le : t -> Le.t
+
+val make : Sim.Memory.t -> n:int -> Le.t
+(** Lean fallback. *)
+
+val make_original : Sim.Memory.t -> n:int -> Le.t
+(** Theta(n^3) fallback, as in the 2011 paper. *)

@@ -1,0 +1,35 @@
+(** Adversary strategies that defeat specific algorithms — used to
+    demonstrate why Section 4's adversary-independent combination is
+    needed.
+
+    {!ascending_location} is the adaptive attack on the Figure 1 chain:
+    the adaptive adversary sees each process's pending write register
+    (hence the random index [x] it drew) and schedules pending writes to
+    low cells of the GroupElect array first. Every process then reads
+    its [R[x+1]] before the processes holding larger indices write, so
+    {e everyone} is elected: the chain shrinks only by one per level
+    (through the splitter), forcing Theta(k) steps. *)
+
+val ascending_location : unit -> Sim.Sched.adversary
+
+val ascending_location_rw : unit -> Sim.Sched.adversary
+(** The same attack expressed against the {e R/W-oblivious} view: it
+    only uses pending registers (never whether the operation is a read
+    or a write; ties are broken by visible step counts, which favour the
+    reader of [R[x+1]] over a writer poised at the same cell). Its
+    effectiveness against the Figure 1 chain demonstrates the paper's
+    remark that the log* algorithm "is not efficient against the
+    R/W-oblivious adversary" — the pending {e location} alone leaks the
+    random index. *)
+
+val read_priority : unit -> Sim.Sched.adversary
+(** A {e location-oblivious} strategy: always schedule a pending read if
+    any exists. Against the sifting GroupElect this lets every reader
+    read before any writer writes, so everyone is elected — showing why
+    sifting needs the R/W-oblivious assumption (the location-oblivious
+    adversary sees operation {e types}, which is exactly what sifting
+    randomizes). *)
+
+val register_index : string -> int option
+(** Parse the trailing [\[i\]] index of a register name such as
+    ["logstar.ge[3].R[5]"]. *)

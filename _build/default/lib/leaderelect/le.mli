@@ -1,0 +1,16 @@
+(** Common shape of an n-process leader-election object.
+
+    [elect] may be called at most once per process; at most one call
+    returns [true], and if no participant crashes exactly one does. *)
+
+type t = {
+  le_name : string;
+  elect : Sim.Ctx.t -> bool;
+}
+
+val programs : t -> k:int -> (Sim.Ctx.t -> int) array
+(** [programs le ~k] is [k] copies of a program that calls [elect] once
+    and returns 1 if it won, 0 otherwise — ready for {!Sim.Sched.create}. *)
+
+val winners : Sim.Sched.t -> int list
+(** Pids whose program returned 1. *)

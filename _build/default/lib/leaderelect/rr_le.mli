@@ -1,0 +1,5 @@
+(** {!Le.t} wrappers for the two RatRace variants, so that all leader
+    elections can be driven through one interface. *)
+
+val make_original : Sim.Memory.t -> n:int -> Le.t
+val make_lean : Sim.Memory.t -> n:int -> Le.t

@@ -1,0 +1,19 @@
+(** Baseline: tournament-tree leader election in the style of Afek,
+    Gafni, Tromp and Vitányi (WDAG 1992).
+
+    A complete binary tree of 2-process elections over [n] leaf slots
+    (rounded up to a power of two); process [p] starts at leaf [p] and
+    must win every election up to the root. O(log n) expected steps
+    against the adaptive adversary — non-adaptive, since even a solo
+    process climbs the full tree — and Theta(n) registers. *)
+
+type t
+
+val create : ?name:string -> Sim.Memory.t -> n:int -> t
+
+val elect : t -> Sim.Ctx.t -> bool
+(** Uses [Sim.Ctx.pid] as the leaf index; requires [pid < n]. *)
+
+val to_le : t -> Le.t
+
+val make : Sim.Memory.t -> n:int -> Le.t

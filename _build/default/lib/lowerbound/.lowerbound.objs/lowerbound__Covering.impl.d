@@ -1,0 +1,1 @@
+lib/lowerbound/covering.ml: Hashtbl Int64 Leaderelect List Sim

@@ -1,0 +1,1 @@
+lib/lowerbound/covering.mli: Leaderelect Sim

@@ -1,0 +1,1 @@
+lib/lowerbound/covering_exec.ml: Array Fmt Fun Hashtbl Int64 Leaderelect List Option Sim

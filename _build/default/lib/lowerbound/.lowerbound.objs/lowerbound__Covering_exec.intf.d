@@ -1,0 +1,1 @@
+lib/lowerbound/covering_exec.mli: Fmt Leaderelect Sim

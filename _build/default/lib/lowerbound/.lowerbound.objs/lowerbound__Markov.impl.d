@@ -1,0 +1,1 @@
+lib/lowerbound/markov.ml: Float Sim

@@ -1,0 +1,1 @@
+lib/lowerbound/yao.ml: Array List Sim

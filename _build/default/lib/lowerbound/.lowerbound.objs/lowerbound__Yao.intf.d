@@ -1,0 +1,1 @@
+lib/lowerbound/yao.mli: Sim

@@ -1,0 +1,110 @@
+let f ~n k =
+  if k < 0 || k > n - 1 then invalid_arg "Covering.f: k out of range";
+  let rec go i v = if i >= k then v else go (i + 1) (v - (v / (n - i)) + 1) in
+  go 0 n
+
+let delta ~n k1 =
+  if k1 < 1 then invalid_arg "Covering.delta: k+1 must be >= 1";
+  let k = k1 - 1 in
+  (f ~n k / (n - k)) - 1
+
+let interval_of ~n k =
+  (* I(s) = [n - n/2^s, n - n/2^(s+1) - 1] *)
+  let rec go s =
+    let lo = n - (n lsr s) in
+    if n lsr (s + 1) = 0 then None
+    else
+      let hi = n - (n lsr (s + 1)) - 1 in
+      if k >= lo && k <= hi then Some s
+      else if k < lo then None
+      else go (s + 1)
+  in
+  go 0
+
+let f_closed ~n k =
+  match interval_of ~n k with
+  | None -> None
+  | Some s ->
+      (* n (s+1)/2^s - s (k - n + n/2^s) *)
+      let pow = 1 lsl s in
+      Some ((n * (s + 1) / pow) - (s * (k - n + (n / pow))))
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let check_claim_5_5 ~n =
+  if not (is_pow2 n && n >= 8) then
+    invalid_arg "Covering.check_claim_5_5: n must be a power of two >= 8";
+  (* Single incremental pass over the recurrence: recomputing [f ~n k]
+     from scratch for every k would be quadratic in n. *)
+  let ok = ref true in
+  let fk = ref n in
+  for k = 0 to n - 4 do
+    (match (f_closed ~n k, interval_of ~n k) with
+    | Some v, Some s ->
+        if v <> !fk then ok := false;
+        let drop = (!fk / (n - k)) - 1 in
+        if k + 1 <= n - 4 && drop <> s then ok := false
+    | _ -> ok := false);
+    fk := !fk - (!fk / (n - k)) + 1
+  done;
+  !ok
+
+let register_lower_bound ~n =
+  let v = f ~n (n - 4) in
+  (v + 3) / 4
+
+type base_report = {
+  poised_writers : int;
+  distinct_covered : int;
+  finished_early : int;
+}
+
+let base_round ~make ~n ~seed =
+  let mem = Sim.Memory.create () in
+  let le = make mem ~n in
+  let sched = Sim.Sched.create ~seed (Leaderelect.Le.programs le ~k:n) in
+  (* Step any process whose pending operation is a read; since nobody has
+     written yet, each such step is indistinguishable from a solo run.
+     Stop when every running process covers a register. *)
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for pid = 0 to n - 1 do
+      match Sim.Sched.pending sched pid with
+      | Some { Sim.Op.kind = Sim.Op.Read; _ } ->
+          Sim.Sched.step sched pid;
+          progress := true
+      | Some { Sim.Op.kind = Sim.Op.Write _; _ } | None -> ()
+    done
+  done;
+  let covered = Hashtbl.create 64 in
+  let poised = ref 0 and finished = ref 0 in
+  for pid = 0 to n - 1 do
+    match Sim.Sched.pending sched pid with
+    | Some { Sim.Op.kind = Sim.Op.Write _; reg } ->
+        incr poised;
+        Hashtbl.replace covered reg.Sim.Register.id ()
+    | Some { Sim.Op.kind = Sim.Op.Read; _ } -> assert false
+    | None -> incr finished
+  done;
+  {
+    poised_writers = !poised;
+    distinct_covered = Hashtbl.length covered;
+    finished_early = !finished;
+  }
+
+let written_registers ~make ~n ~seed =
+  let mem = Sim.Memory.create () in
+  let le = make mem ~n in
+  let sched =
+    Sim.Sched.create ~seed ~record_trace:true (Leaderelect.Le.programs le ~k:n)
+  in
+  Sim.Sched.run sched (Sim.Adversary.random_oblivious ~seed:(Int64.add seed 77L));
+  let written = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Sim.Op.Step { kind = Sim.Op.Write _; reg; _ } ->
+          Hashtbl.replace written reg ()
+      | _ -> ())
+    (Sim.Sched.trace sched);
+  Hashtbl.length written

@@ -1,0 +1,67 @@
+(** The space lower bound of Section 5 (Theorem 5.1).
+
+    The covering argument maintains, after round [k], at least [f(k)]
+    distinct covering-process representatives, where
+
+    [f(0) = n] and [f(k+1) = f(k) - floor(f(k) / (n - k)) + 1].
+
+    Claim 5.5 gives the closed form on the interval
+    [I(s) = [n - n/2^s, n - n/2^(s+1) - 1]]:
+    [f(k) = n (s+1)/2^s - s (k - n + n/2^s)] and the per-round drop
+    [delta(k+1) = s]. At [k = n - 4] (so [s = log2 n - 2]) this yields
+    [f(n-4) = 4 (log2 n - 1)]; every register is covered by at most 4 of
+    the representatives, so at least [log2 n - 1] registers exist.
+
+    Besides machine-checking the recurrence we provide an executable
+    covering harness: {!base_round} drives a real leader-election
+    implementation to the configuration of Lemma 5.4's base case (every
+    process poised to write, nobody visible on any register), and
+    {!written_registers} measures how many distinct registers a full
+    execution writes. *)
+
+val f : n:int -> int -> int
+(** Requires [0 <= k <= n-1]; [n] need not be a power of two, but Claim
+    5.5 is only exact for powers of two. *)
+
+val delta : n:int -> int -> int
+(** [delta ~n (k+1) = floor (f k / (n - k)) - 1]; defined for [k+1 >= 1]. *)
+
+val f_closed : n:int -> int -> int option
+(** Claim 5.5(a); [None] if [k] lies in no interval [I(s)] (cannot
+    happen for [0 <= k <= n - 2] when [n] is a power of two). *)
+
+val interval_of : n:int -> int -> int option
+(** The [s] with [k] in [I(s)]. *)
+
+val check_claim_5_5 : n:int -> bool
+(** Verify [f = f_closed] and [delta (k+1) = s] for all
+    [k in 0 .. n-4]; [n] must be a power of two [>= 8]. *)
+
+val register_lower_bound : n:int -> int
+(** [ceil (f (n-4) / 4)] — the register count Theorem 5.1 guarantees;
+    equals [log2 n - 1] for powers of two. *)
+
+type base_report = {
+  poised_writers : int;  (** Processes poised to write (should be all). *)
+  distinct_covered : int;  (** Distinct registers covered. *)
+  finished_early : int;  (** Processes that finished without writing —
+      a violation of the base-case argument, expected to be 0. *)
+}
+
+val base_round :
+  make:(Sim.Memory.t -> n:int -> Leaderelect.Le.t) ->
+  n:int ->
+  seed:int64 ->
+  base_report
+(** Lemma 5.4 base case: every process runs (in effect solo — nobody has
+    written yet, so their reads are as in solo runs) until poised to
+    write for the first time. *)
+
+val written_registers :
+  make:(Sim.Memory.t -> n:int -> Leaderelect.Le.t) ->
+  n:int ->
+  seed:int64 ->
+  int
+(** Distinct registers written during a full crash-free election under a
+    random schedule — an empirical witness that implementations use at
+    least [register_lower_bound ~n] registers. *)

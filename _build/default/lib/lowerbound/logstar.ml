@@ -1,0 +1,14 @@
+let log2 x = log x /. log 2.0
+
+let log_star x =
+  let rec go acc v = if v <= 1.0 then acc else go (acc + 1) (log2 v) in
+  go 0 x
+
+let iterations_to_constant ~f ?(floor_ = 2.0) k =
+  let rec go acc v =
+    if acc >= 10_000 || v <= floor_ then acc
+    else
+      let v' = f v in
+      if v' >= v then acc else go (acc + 1) v'
+  in
+  go 0 k

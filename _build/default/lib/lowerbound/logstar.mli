@@ -1,0 +1,14 @@
+(** Iterated logarithms and the log* function, used to state the upper
+    bounds of Section 2. *)
+
+val log2 : float -> float
+
+val log_star : float -> int
+(** Number of times [log2] must be applied to reach a value [<= 1]. *)
+
+val iterations_to_constant : f:(float -> float) -> ?floor_:float -> float -> int
+(** [iterations_to_constant ~f k] is the number of iterations of
+    [x -> f x] starting from [k] until the value drops to [floor_]
+    (default 2.0) or stops decreasing; capped at 10_000. This is the
+    deterministic skeleton of the hitting time [Delta_r] of Section 2.1:
+    for [f(k) = 2 log2 k + 6 - 1] it is O(log* k). *)

@@ -1,0 +1,22 @@
+let binomial_step rng ~j ~mean =
+  if j <= 0 then 0
+  else begin
+    let p = Float.min 1.0 (Float.max 0.0 (mean /. float_of_int j)) in
+    let count = ref 0 in
+    for _ = 1 to j do
+      if Sim.Rng.float rng < p then incr count
+    done;
+    !count
+  end
+
+let hitting_time_mc ~rate ~n ~trials ~seed =
+  let rng = Sim.Rng.create seed in
+  let total = ref 0 in
+  for _ = 1 to trials do
+    let rec go steps j =
+      if j <= 1 || steps > 1_000_000 then steps
+      else go (steps + 1) (binomial_step rng ~j ~mean:(rate j))
+    in
+    total := !total + go 0 n
+  done;
+  float_of_int !total /. float_of_int trials

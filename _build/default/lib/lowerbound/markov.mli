@@ -1,0 +1,19 @@
+(** Hitting times of non-increasing Markov chains (Section 2.1).
+
+    [Delta_r(n)] is the maximum expected hitting time of state 0 over
+    non-increasing chains on [{0..n}] whose rate satisfies
+    [E(M_(i+1) | M_i = j) <= r(j)]. Lemma 2.1 bounds the step complexity
+    of the chain construction by [O(Delta_(f-1)(k))].
+
+    We provide the deterministic iteration count (see
+    {!Logstar.iterations_to_constant}) and a Monte-Carlo estimate for a
+    natural worst-ish chain: from state [j] the next state is
+    [Binomial(j, r(j)/j)], which has mean exactly [r(j)] and is
+    supported on [{0..j}]. *)
+
+val binomial_step : Sim.Rng.t -> j:int -> mean:float -> int
+(** One transition: Binomial(j, mean/j), clamped mean to [j]. *)
+
+val hitting_time_mc :
+  rate:(int -> float) -> n:int -> trials:int -> seed:int64 -> float
+(** Average number of steps to reach a state [<= 1] from [n]. *)

@@ -1,0 +1,71 @@
+let schedules ~t =
+  let rec build zeros ones acc =
+    if zeros = 0 && ones = 0 then [ List.rev acc ]
+    else
+      let with_zero = if zeros > 0 then build (zeros - 1) ones (0 :: acc) else [] in
+      let with_one = if ones > 0 then build zeros (ones - 1) (1 :: acc) else [] in
+      with_zero @ with_one
+  in
+  List.map Array.of_list (build t t [])
+
+type point = {
+  t : int;
+  schedules_tested : int;
+  max_prob : float;
+  bound : float;
+  best_schedule : int array;
+}
+
+let alternating ~t first =
+  Array.init (2 * t) (fun i -> if i mod 2 = 0 then first else 1 - first)
+
+let random_schedule rng ~t =
+  let arr = Array.init (2 * t) (fun i -> if i < t then 0 else 1) in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Sim.Rng.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  arr
+
+let count_schedules ~t =
+  (* C(2t, t), saturating well before any overflow. *)
+  let cap = 1 lsl 30 in
+  let rec go acc i =
+    if i > t then acc
+    else if acc > cap then cap
+    else go (acc * (t + i) / i) (i + 1)
+  in
+  go 1 1
+
+let measure ?(trials = 400) ?(max_enumerate = 1000) ?(seed = 42L) ~make ~t () =
+  let rng = Sim.Rng.create seed in
+  let candidate_schedules =
+    if count_schedules ~t <= max_enumerate then schedules ~t
+    else
+      alternating ~t 0 :: alternating ~t 1
+      :: List.init max_enumerate (fun _ -> random_schedule rng ~t)
+  in
+  let prob_of schedule =
+    let hits = ref 0 in
+    for _ = 1 to trials do
+      let sched = Sim.Sched.create ~seed:(Sim.Rng.next rng) (make ()) in
+      Sim.Sched.run sched (Sim.Adversary.fixed_schedule ~then_halt:true schedule);
+      if Sim.Sched.max_steps sched >= t then incr hits
+    done;
+    float_of_int !hits /. float_of_int trials
+  in
+  let best = ref (0.0, [||]) in
+  List.iter
+    (fun s ->
+      let p = prob_of s in
+      if p > fst !best then best := (p, s))
+    candidate_schedules;
+  {
+    t;
+    schedules_tested = List.length candidate_schedules;
+    max_prob = fst !best;
+    bound = 1.0 /. (4.0 ** float_of_int t);
+    best_schedule = snd !best;
+  }

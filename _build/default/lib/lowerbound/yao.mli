@@ -1,0 +1,37 @@
+(** The 2-process time lower bound of Section 6 (Theorem 6.1).
+
+    For any randomized 2-process TAS and any [t > 0] there is an
+    oblivious schedule under which, with probability at least [1/4^t],
+    some process does not finish within fewer than [t] steps. The proof
+    is by Yao's minimax over the [C(2t, t) <= 4^t] schedules in which
+    each process appears [t] times.
+
+    We reproduce the bound empirically: enumerate (or, for large [t],
+    sample) the schedule set, run the implementation many times per
+    schedule, and report [max over S of Pr(max steps >= t)], which must
+    dominate [1/4^t]. *)
+
+val schedules : t:int -> int array list
+(** All interleavings of [t] zeros and [t] ones; [C(2t, t)] of them. *)
+
+type point = {
+  t : int;
+  schedules_tested : int;
+  max_prob : float;  (** max over tested schedules of Pr[max steps >= t] *)
+  bound : float;  (** 1 / 4^t *)
+  best_schedule : int array;
+}
+
+val measure :
+  ?trials:int ->
+  ?max_enumerate:int ->
+  ?seed:int64 ->
+  make:(unit -> (Sim.Ctx.t -> int) array) ->
+  t:int ->
+  unit ->
+  point
+(** [make] builds a fresh 2-process system (e.g. a TAS with both
+    processes applying it). Enumerates all schedules when there are at
+    most [max_enumerate] (default 1000), otherwise samples that many at
+    random plus the strict-alternation schedules. [trials] (default 400)
+    runs per schedule. *)

@@ -1,0 +1,1 @@
+lib/multicore/mc_elim.ml: Array Mc_le2 Mc_splitter

@@ -1,0 +1,1 @@
+lib/multicore/mc_le3.ml: Mc_le2

@@ -1,0 +1,1 @@
+lib/multicore/mc_rr_lean.ml: Array Mc_le2 Mc_le3 Mc_rsplitter Mc_splitter

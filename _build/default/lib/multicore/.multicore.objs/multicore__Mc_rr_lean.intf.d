@@ -1,0 +1,1 @@
+lib/multicore/mc_rr_lean.mli: Random

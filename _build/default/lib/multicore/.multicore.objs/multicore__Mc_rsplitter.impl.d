@@ -1,0 +1,1 @@
+lib/multicore/mc_rsplitter.ml: Mc_splitter Random

@@ -1,0 +1,1 @@
+lib/multicore/mc_rsplitter.mli: Mc_splitter Random

@@ -1,0 +1,1 @@
+lib/multicore/mc_sift.ml: Array Atomic Groupelect Mc_tournament Random

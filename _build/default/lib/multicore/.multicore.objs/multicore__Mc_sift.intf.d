@@ -1,0 +1,1 @@
+lib/multicore/mc_sift.mli: Random

@@ -1,0 +1,1 @@
+lib/multicore/mc_splitter.mli:

@@ -1,0 +1,1 @@
+lib/multicore/mc_tas.ml: Atomic Mc_elim Mc_le2 Mc_rr_lean Mc_sift Mc_tournament Random

@@ -1,0 +1,1 @@
+lib/multicore/mc_tournament.ml: Array Mc_le2

@@ -1,0 +1,30 @@
+type t = {
+  sps : Mc_splitter.t array;
+  les : Mc_le2.t array;
+}
+
+let create ~n =
+  if n < 1 then invalid_arg "Mc_elim.create: n must be >= 1";
+  {
+    sps = Array.init n (fun _ -> Mc_splitter.create ());
+    les = Array.init n (fun _ -> Mc_le2.create ());
+  }
+
+let elect t rng ~id =
+  let len = Array.length t.sps in
+  let rec backward stopped_at j =
+    let port = if j = stopped_at then 0 else 1 in
+    if Mc_le2.elect t.les.(j) rng ~port then
+      if j = 0 then true else backward stopped_at (j - 1)
+    else false
+  in
+  let rec forward i =
+    if i >= len then
+      failwith "Mc_elim.elect: fell off the path (more than n entrants?)"
+    else
+      match Mc_splitter.split t.sps.(i) ~id with
+      | Mc_splitter.L -> false
+      | Mc_splitter.R -> forward (i + 1)
+      | Mc_splitter.S -> backward i i
+  in
+  forward 0

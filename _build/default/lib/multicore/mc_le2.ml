@@ -1,0 +1,20 @@
+type t = { a : int Atomic.t; b : int Atomic.t }
+
+let create () = { a = Atomic.make 0; b = Atomic.make 0 }
+
+(* Same protocol and thresholds as [Primitives.Le2]; see its interface
+   for the safety argument. *)
+let elect t rng ~port =
+  if port <> 0 && port <> 1 then invalid_arg "Mc_le2.elect: port must be 0 or 1";
+  let mine, other = if port = 0 then (t.a, t.b) else (t.b, t.a) in
+  let rec loop pos =
+    let o = Atomic.get other in
+    if o >= pos + 2 then false
+    else if o <= pos - 3 then true
+    else begin
+      let pos' = pos + (if Random.State.bool rng then 1 else 0) in
+      if pos' > pos then Atomic.set mine pos';
+      loop pos'
+    end
+  in
+  loop 0

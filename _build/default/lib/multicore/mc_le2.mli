@@ -1,0 +1,13 @@
+(** The 2-process random-walk duel of {!Primitives.Le2}, on real OCaml
+    [Atomic.t] registers, runnable across domains.
+
+    OCaml's [Atomic] operations are sequentially consistent, so they
+    model the paper's atomic multi-reader multi-writer registers
+    directly. At most one process may use each port. *)
+
+type t
+
+val create : unit -> t
+
+val elect : t -> Random.State.t -> port:int -> bool
+(** Wait-free; O(1) expected steps. [port] is 0 or 1. *)

@@ -1,0 +1,11 @@
+type t = { first : Mc_le2.t; final : Mc_le2.t }
+
+let create () = { first = Mc_le2.create (); final = Mc_le2.create () }
+
+let elect t rng ~port =
+  match port with
+  | 2 -> Mc_le2.elect t.final rng ~port:1
+  | 0 | 1 ->
+      if Mc_le2.elect t.first rng ~port then Mc_le2.elect t.final rng ~port:0
+      else false
+  | _ -> invalid_arg "Mc_le3.elect: port must be 0, 1 or 2"

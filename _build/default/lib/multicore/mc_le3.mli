@@ -1,0 +1,8 @@
+(** 3-process election on atomics (two chained duels), as used at each
+    node of the multicore RatRace tree. Ports 0-2, one caller each. *)
+
+type t
+
+val create : unit -> t
+
+val elect : t -> Random.State.t -> port:int -> bool

@@ -1,0 +1,12 @@
+(** The paper's Section 3 lean RatRace on real atomics: primary tree of
+    height [ceil(log2 n)] (randomized splitters + 3-process elections),
+    [ceil(n / log2 n)] elimination paths of length [4 ceil(log2 n)]
+    absorbing leaf overflow, and a length-[n] backup elimination path.
+    O(log k) expected steps, Theta(n) atomics, wait-free. *)
+
+type t
+
+val create : n:int -> t
+
+val elect : t -> Random.State.t -> id:int -> bool
+(** [id] distinct per caller, in [\[1, n\]]. At most [n] callers. *)

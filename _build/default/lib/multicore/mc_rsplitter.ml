@@ -1,0 +1,9 @@
+type t = Mc_splitter.t
+
+let create () = Mc_splitter.create ()
+
+let split t rng ~id =
+  match Mc_splitter.split t ~id with
+  | Mc_splitter.S -> Mc_splitter.S
+  | Mc_splitter.L | Mc_splitter.R ->
+      if Random.State.bool rng then Mc_splitter.R else Mc_splitter.L

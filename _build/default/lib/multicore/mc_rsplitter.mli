@@ -1,0 +1,9 @@
+(** Randomized splitter on atomics: at most one [S]; a solo caller gets
+    [S]; non-[S] callers go [L] or [R] with probability 1/2 each. *)
+
+type t
+
+val create : unit -> t
+
+val split : t -> Random.State.t -> id:int -> Mc_splitter.outcome
+(** [id] distinct per caller and nonzero. *)

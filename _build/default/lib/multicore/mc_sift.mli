@@ -1,0 +1,11 @@
+(** Sifting leader election on atomics: Theta(log log n) sifting levels
+    (Alistarh–Aspnes) followed by a tournament over the survivors — the
+    multicore analogue of the AA algorithm. Wait-free; O(log log n + log
+    survivors) expected steps under benign scheduling. *)
+
+type t
+
+val create : n:int -> t
+
+val elect : t -> Random.State.t -> slot:int -> bool
+(** [slot] must be a distinct index below [n] per participating thread. *)

@@ -1,0 +1,14 @@
+type t = { race : int Atomic.t; door : bool Atomic.t }
+
+type outcome = L | R | S
+
+let create () = { race = Atomic.make 0; door = Atomic.make false }
+
+let split t ~id =
+  if id = 0 then invalid_arg "Mc_splitter.split: id must be nonzero";
+  Atomic.set t.race id;
+  if Atomic.get t.door then L
+  else begin
+    Atomic.set t.door true;
+    if Atomic.get t.race = id then S else R
+  end

@@ -1,0 +1,12 @@
+(** Moir–Anderson deterministic splitter on atomics. Same guarantees as
+    {!Primitives.Splitter}: at most one [S]; a solo caller gets [S]; not
+    all callers get [L], not all get [R]. *)
+
+type t
+
+type outcome = L | R | S
+
+val create : unit -> t
+
+val split : t -> id:int -> outcome
+(** [id] must be distinct per caller and nonzero. *)

@@ -1,0 +1,29 @@
+(** One-shot linearizable test-and-set on atomics, from any of the
+    leader elections in this library plus a doorway register (the same
+    construction as {!Primitives.Tas}).
+
+    For comparison, {!native} wraps the hardware-level
+    [Atomic.exchange] — the primitive the paper's algorithms implement
+    from plain reads and writes. *)
+
+type t
+
+val of_tournament : n:int -> t
+val of_sift : n:int -> t
+val of_le2 : unit -> t
+(** Two slots only. *)
+
+val of_elim : n:int -> t
+(** Elimination-path election; slots are [0 .. n-1]. *)
+
+val of_rr_lean : n:int -> t
+(** The Section 3 lean RatRace on atomics; slots are [0 .. n-1]. *)
+
+val native : unit -> t
+(** [Atomic.exchange]-based; reference implementation. *)
+
+val apply : t -> Random.State.t -> slot:int -> int
+(** Returns 0 to exactly one caller (the winner), 1 to all others.
+    At most one call per slot. *)
+
+val name : t -> string

@@ -1,0 +1,13 @@
+(** Tournament-tree leader election on atomics (the AGTV baseline).
+
+    [n] slots, rounded up to a power of two; each participating thread
+    calls [elect] with a distinct [slot] and climbs the tree of
+    2-process duels. O(log n) expected steps, wait-free. *)
+
+type t
+
+val create : n:int -> t
+
+val slots : t -> int
+
+val elect : t -> Random.State.t -> slot:int -> bool

@@ -1,0 +1,1 @@
+lib/primitives/le2.mli: Sim

@@ -1,0 +1,1 @@
+lib/primitives/le2_bounded.ml: Sim

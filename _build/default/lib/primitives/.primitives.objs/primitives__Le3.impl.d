@@ -1,0 +1,1 @@
+lib/primitives/le3.ml: Le2

@@ -1,0 +1,1 @@
+lib/primitives/le3.mli: Sim

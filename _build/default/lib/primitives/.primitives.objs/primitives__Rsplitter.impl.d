@@ -1,0 +1,1 @@
+lib/primitives/rsplitter.ml: Sim Splitter

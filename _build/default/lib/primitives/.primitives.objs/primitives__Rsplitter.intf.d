@@ -1,0 +1,1 @@
+lib/primitives/rsplitter.mli: Sim Splitter

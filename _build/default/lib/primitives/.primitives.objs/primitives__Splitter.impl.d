@@ -1,0 +1,1 @@
+lib/primitives/splitter.ml: Fmt Sim

@@ -1,0 +1,1 @@
+lib/primitives/splitter.mli: Fmt Sim

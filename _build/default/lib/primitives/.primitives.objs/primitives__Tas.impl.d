@@ -1,0 +1,1 @@
+lib/primitives/tas.ml: Sim

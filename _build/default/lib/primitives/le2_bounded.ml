@@ -1,0 +1,30 @@
+let modulus = 8
+
+type t = { a : Sim.Register.t; b : Sim.Register.t }
+
+let create ?(name = "le2b") mem =
+  {
+    a = Sim.Register.create ~name:(name ^ ".pos0") mem;
+    b = Sim.Register.create ~name:(name ^ ".pos1") mem;
+  }
+
+(* Decode the opponent's position relative to ours into [-4, +3]. *)
+let gap ~o ~pos = (((o - pos) mod modulus) + modulus + 4) mod modulus - 4
+
+let elect t ctx ~port =
+  if port <> 0 && port <> 1 then
+    invalid_arg "Le2_bounded.elect: port must be 0 or 1";
+  let mine, other = if port = 0 then (t.a, t.b) else (t.b, t.a) in
+  let rec loop pos =
+    let o = Sim.Ctx.read ctx other in
+    let g = gap ~o ~pos in
+    if g >= 2 then false
+    else if g <= -3 then true
+    else if Sim.Ctx.flip_bool ctx then begin
+      let pos' = (pos + 1) mod modulus in
+      Sim.Ctx.write ctx mine pos';
+      loop pos'
+    end
+    else loop pos
+  in
+  loop 0

@@ -1,0 +1,15 @@
+type t = { first : Le2.t; final : Le2.t }
+
+let create ?(name = "le3") mem =
+  {
+    first = Le2.create ~name:(name ^ ".first") mem;
+    final = Le2.create ~name:(name ^ ".final") mem;
+  }
+
+let elect t ctx ~port =
+  match port with
+  | 2 -> Le2.elect t.final ctx ~port:1
+  | 0 | 1 ->
+      if Le2.elect t.first ctx ~port then Le2.elect t.final ctx ~port:0
+      else false
+  | _ -> invalid_arg "Le3.elect: port must be 0, 1 or 2"

@@ -1,0 +1,9 @@
+type t = Splitter.t
+
+let create ?(name = "rsp") mem = Splitter.create ~name mem
+
+let split t ctx =
+  match Splitter.split t ctx with
+  | Splitter.S -> Splitter.S
+  | Splitter.L | Splitter.R ->
+      if Sim.Ctx.flip_bool ctx then Splitter.R else Splitter.L

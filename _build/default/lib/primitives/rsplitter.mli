@@ -1,0 +1,12 @@
+(** Randomized splitter (Attiya, Kuhn, Plaxton, Wattenhofer, Wattenhofer).
+
+    Like a deterministic splitter, at most one [split] call returns [S]
+    and a solo caller always receives [S]; but a call that does not
+    return [S] returns [L] or [R] independently with probability 1/2
+    each (so all callers may receive the same direction). *)
+
+type t
+
+val create : ?name:string -> Sim.Memory.t -> t
+
+val split : t -> Sim.Ctx.t -> Splitter.outcome

@@ -1,0 +1,18 @@
+(** Deterministic splitter (Moir–Anderson).
+
+    [split] returns a value in [{L, R, S}]. If [k] processes call
+    [split], at most [k-1] receive [L], at most [k-1] receive [R], and at
+    most one receives [S]; a solo caller always receives [S]. Uses O(1)
+    registers and O(1) steps. *)
+
+type t
+
+type outcome = L | R | S
+
+val equal_outcome : outcome -> outcome -> bool
+val pp_outcome : outcome Fmt.t
+
+val create : ?name:string -> Sim.Memory.t -> t
+
+val split : t -> Sim.Ctx.t -> outcome
+(** At most one [split] call per process per splitter. *)

@@ -1,0 +1,15 @@
+type t = {
+  elect : Sim.Ctx.t -> bool;
+  doorway : Sim.Register.t;
+}
+
+let create ?(name = "tas") mem ~elect =
+  { elect; doorway = Sim.Register.create ~name:(name ^ ".done") mem }
+
+let apply t ctx =
+  if Sim.Ctx.read ctx t.doorway = 1 then 1
+  else if t.elect ctx then 0
+  else begin
+    Sim.Ctx.write ctx t.doorway 1;
+    1
+  end

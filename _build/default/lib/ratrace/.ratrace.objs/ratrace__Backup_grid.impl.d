@@ -1,0 +1,1 @@
+lib/ratrace/backup_grid.ml: Array Primitives Printf

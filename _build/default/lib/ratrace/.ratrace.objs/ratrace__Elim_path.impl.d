@@ -1,0 +1,1 @@
+lib/ratrace/elim_path.ml: Array Primitives Printf

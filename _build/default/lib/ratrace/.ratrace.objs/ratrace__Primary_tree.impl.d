@@ -1,0 +1,1 @@
+lib/ratrace/primary_tree.ml: Array Primitives Printf

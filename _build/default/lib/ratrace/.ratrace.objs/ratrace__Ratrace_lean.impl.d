@@ -1,0 +1,1 @@
+lib/ratrace/ratrace_lean.ml: Array Elim_path Primary_tree Primitives Printf

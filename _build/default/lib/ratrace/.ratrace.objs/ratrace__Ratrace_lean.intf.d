@@ -1,0 +1,1 @@
+lib/ratrace/ratrace_lean.mli: Sim

@@ -1,0 +1,1 @@
+lib/ratrace/rr_classic.ml: Backup_grid Primary_tree Primitives

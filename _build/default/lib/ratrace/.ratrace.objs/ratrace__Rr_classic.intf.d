@@ -1,0 +1,1 @@
+lib/ratrace/rr_classic.mli: Sim

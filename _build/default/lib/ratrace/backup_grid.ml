@@ -1,0 +1,45 @@
+type t = {
+  sps : Primitives.Splitter.t array array;
+  les : Primitives.Le3.t array array;
+  n : int;
+}
+
+type outcome = Lost | Won
+
+let create ?(name = "grid") mem ~n =
+  if n < 1 then invalid_arg "Backup_grid.create: n must be >= 1";
+  let make f =
+    Array.init n (fun i -> Array.init n (fun j -> f i j))
+  in
+  {
+    sps =
+      make (fun i j ->
+          Primitives.Splitter.create ~name:(Printf.sprintf "%s.sp[%d,%d]" name i j) mem);
+    les =
+      make (fun i j ->
+          Primitives.Le3.create ~name:(Printf.sprintf "%s.le[%d,%d]" name i j) mem);
+    n;
+  }
+
+(* Retrace the path backwards; [path] lists the nodes from the stopping
+   node back to (0,0), each paired with the port to use there: 0 at the
+   stopping node, then 1 when we arrived from (i+1,j), 2 from (i,j+1). *)
+let rec retrace t ctx = function
+  | [] -> Won
+  | ((i, j), port) :: rest ->
+      if Primitives.Le3.elect t.les.(i).(j) ctx ~port then retrace t ctx rest
+      else Lost
+
+let run ?(notify_stop = fun () -> ()) t ctx =
+  let rec descend i j path =
+    if i + j >= t.n then
+      failwith "Backup_grid.run: process left the grid (more than n entrants?)"
+    else
+      match Primitives.Splitter.split t.sps.(i).(j) ctx with
+      | Primitives.Splitter.S ->
+          notify_stop ();
+          retrace t ctx (((i, j), 0) :: path)
+      | Primitives.Splitter.L -> descend (i + 1) j (((i, j), 1) :: path)
+      | Primitives.Splitter.R -> descend i (j + 1) (((i, j), 2) :: path)
+  in
+  descend 0 0 []

@@ -1,0 +1,41 @@
+type t = {
+  sps : Primitives.Splitter.t array;
+  les : Primitives.Le2.t array;
+}
+
+type outcome = Lost | Won | Fell_off
+
+let create ?(name = "ep") mem ~length =
+  if length < 1 then invalid_arg "Elim_path.create: length must be >= 1";
+  {
+    sps =
+      Array.init length (fun i ->
+          Primitives.Splitter.create ~name:(Printf.sprintf "%s.sp[%d]" name i) mem);
+    les =
+      Array.init length (fun i ->
+          Primitives.Le2.create ~name:(Printf.sprintf "%s.le[%d]" name i) mem);
+  }
+
+let length t = Array.length t.sps
+
+(* Node [j]'s election is between the winner of splitter [j] (port 0)
+   and the process moving left from node [j+1] (port 1). *)
+let rec backward t ctx ~stopped_at j =
+  let port = if j = stopped_at then 0 else 1 in
+  if Primitives.Le2.elect t.les.(j) ctx ~port then
+    if j = 0 then Won else backward t ctx ~stopped_at (j - 1)
+  else Lost
+
+let run ?(notify_stop = fun () -> ()) t ctx =
+  let len = Array.length t.sps in
+  let rec forward i =
+    if i >= len then Fell_off
+    else
+      match Primitives.Splitter.split t.sps.(i) ctx with
+      | Primitives.Splitter.L -> Lost
+      | Primitives.Splitter.R -> forward (i + 1)
+      | Primitives.Splitter.S ->
+          notify_stop ();
+          backward t ctx ~stopped_at:i i
+  in
+  forward 0

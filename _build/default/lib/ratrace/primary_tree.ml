@@ -1,0 +1,53 @@
+type t = {
+  rsps : Primitives.Rsplitter.t array;  (* heap layout, index 1..2^(h+1)-1 *)
+  les : Primitives.Le3.t array;
+  h : int;
+}
+
+type outcome = Lost | Won | Fell_off of int
+
+let create ?(name = "tree") mem ~height =
+  if height < 0 then invalid_arg "Primary_tree.create: height must be >= 0";
+  let nodes = (1 lsl (height + 1)) - 1 in
+  {
+    rsps =
+      Array.init (nodes + 1) (fun v ->
+          Primitives.Rsplitter.create ~name:(Printf.sprintf "%s.rsp[%d]" name v) mem);
+    les =
+      Array.init (nodes + 1) (fun v ->
+          Primitives.Le3.create ~name:(Printf.sprintf "%s.le[%d]" name v) mem);
+    h = height;
+  }
+
+let height t = t.h
+
+let leaves t = 1 lsl t.h
+
+(* Ascend from node [v], having already won entry to its election on
+   [port]. Moving up from a left child uses port 1, from a right child
+   port 2. *)
+let rec ascend t ctx v ~port =
+  if Primitives.Le3.elect t.les.(v) ctx ~port then
+    if v = 1 then true
+    else ascend t ctx (v / 2) ~port:(if v land 1 = 0 then 1 else 2)
+  else false
+
+let run ?(notify_stop = fun () -> ()) t ctx =
+  let first_leaf = 1 lsl t.h in
+  let rec descend v =
+    match Primitives.Rsplitter.split t.rsps.(v) ctx with
+    | Primitives.Splitter.S ->
+        notify_stop ();
+        if ascend t ctx v ~port:0 then Won else Lost
+    | Primitives.Splitter.L ->
+        if v >= first_leaf then Fell_off (v - first_leaf) else descend (2 * v)
+    | Primitives.Splitter.R ->
+        if v >= first_leaf then Fell_off (v - first_leaf)
+        else descend ((2 * v) + 1)
+  in
+  descend 1
+
+let ascend_from_leaf t ctx ~leaf =
+  if leaf < 0 || leaf >= leaves t then
+    invalid_arg "Primary_tree.ascend_from_leaf: bad leaf";
+  ascend t ctx ((1 lsl t.h) + leaf) ~port:1

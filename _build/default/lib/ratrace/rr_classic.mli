@@ -1,0 +1,19 @@
+(** The original RatRace leader election (Alistarh, Attiya, Gilbert,
+    Giurgiu, Guerraoui, DISC 2010), as summarized in Section 3.1.
+
+    Primary tree of height [3 * ceil(log2 n)] backed by an [n x n] grid;
+    the two winners meet in a final 2-process election. Expected step
+    complexity O(log k) against the adaptive adversary, but
+    Theta(n^3) registers — the space cost the paper's Section 3
+    eliminates. *)
+
+type t
+
+val create : ?name:string -> Sim.Memory.t -> n:int -> t
+
+val elect : ?notify_splitter_win:(unit -> unit) -> t -> Sim.Ctx.t -> bool
+(** At most one call per process; at most [n] processes.
+    [notify_splitter_win] fires the first time the caller wins any
+    splitter of the structure (Section 4, rule 3). *)
+
+val tree_height : n:int -> int

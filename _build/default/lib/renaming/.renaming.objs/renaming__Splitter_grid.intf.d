@@ -1,0 +1,1 @@
+lib/renaming/splitter_grid.mli: Sim

@@ -1,0 +1,1 @@
+lib/renaming/tas_line.ml: Array Leaderelect Primitives Printf

@@ -1,0 +1,36 @@
+type t = {
+  sps : Primitives.Splitter.t array array;  (* sps.(i).(j), i + j < k *)
+  k : int;
+}
+
+let create ?(name = "magrid") mem ~k =
+  if k < 1 then invalid_arg "Splitter_grid.create: k must be >= 1";
+  {
+    sps =
+      Array.init k (fun i ->
+          Array.init (k - i) (fun j ->
+              Primitives.Splitter.create
+                ~name:(Printf.sprintf "%s[%d,%d]" name i j)
+                mem));
+    k;
+  }
+
+let namespace t = t.k * (t.k + 1) / 2
+
+(* Name of node (i, j): nodes are numbered along diagonals, so that the
+   names used under contention k' <= k are exactly the first
+   k'(k'+1)/2. *)
+let node_name (i, j) =
+  let d = i + j in
+  (d * (d + 1) / 2) + i
+
+let acquire t ctx =
+  let rec move i j =
+    if i + j >= t.k then failwith "Splitter_grid.acquire: more than k entrants"
+    else
+      match Primitives.Splitter.split t.sps.(i).(j) ctx with
+      | Primitives.Splitter.S -> node_name (i, j)
+      | Primitives.Splitter.L -> move (i + 1) j
+      | Primitives.Splitter.R -> move i (j + 1)
+  in
+  move 0 0

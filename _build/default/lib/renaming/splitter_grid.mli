@@ -1,0 +1,21 @@
+(** Moir–Anderson one-shot renaming on a triangular grid of
+    deterministic splitters (WDAG 1994) — the classic deterministic
+    baseline, and the same structure as RatRace's backup grid.
+
+    A process enters at [(0,0)], moves down on [L] and right on [R], and
+    takes the name of the node whose splitter it wins; with contention
+    [k] it stops within diagonal [k-1], so names fall in a namespace of
+    size [k(k+1)/2]. Wait-free and deterministic, but the namespace is
+    quadratic — the price of not using randomization. *)
+
+type t
+
+val create : ?name:string -> Sim.Memory.t -> k:int -> t
+(** Grid sized for contention at most [k] (diagonals [0..k-1]). *)
+
+val namespace : t -> int
+(** [k (k+1) / 2]. *)
+
+val acquire : t -> Sim.Ctx.t -> int
+(** A name in [{0 .. namespace-1}], distinct across processes. Raises
+    [Failure] if more than [k] processes enter. *)

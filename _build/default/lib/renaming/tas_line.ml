@@ -1,0 +1,21 @@
+type t = { tases : Primitives.Tas.t array }
+
+let create ?(name = "rename") mem ~names ~make_le ~n =
+  if names < 1 then invalid_arg "Tas_line.create: names must be >= 1";
+  {
+    tases =
+      Array.init names (fun i ->
+          let le = make_le mem ~n in
+          Primitives.Tas.create
+            ~name:(Printf.sprintf "%s[%d]" name i)
+            mem ~elect:le.Leaderelect.Le.elect);
+  }
+
+let acquire t ctx =
+  let m = Array.length t.tases in
+  let rec scan i =
+    if i >= m then failwith "Tas_line.acquire: namespace exhausted"
+    else if Primitives.Tas.apply t.tases.(i) ctx = 0 then i
+    else scan (i + 1)
+  in
+  scan 0

@@ -1,0 +1,27 @@
+(** One-shot renaming from a line of TAS objects — the application that
+    motivates TAS in the paper's introduction (cf. Alistarh et al. 2010;
+    Eberly, Higham, Warpechowska-Gruca 1998).
+
+    [m] candidate names, each guarded by one TAS; a process scans from
+    name 0 and keeps the first TAS it wins. With contention [k <= m] the
+    acquired names lie in [{0..k-1}] (a process can be beaten at most
+    [k-1] times), i.e. the namespace is tight. The cost per attempted
+    name is one TAS call, so the expected total step cost is
+    [O(k * C(k))] where [C] is the election's step complexity — which is
+    where the paper's O(log* k) algorithm pays off. *)
+
+type t
+
+val create :
+  ?name:string ->
+  Sim.Memory.t ->
+  names:int ->
+  make_le:(Sim.Memory.t -> n:int -> Leaderelect.Le.t) ->
+  n:int ->
+  t
+(** One election (dimensioned for [n]) plus one register per name. *)
+
+val acquire : t -> Sim.Ctx.t -> int
+(** Returns a name in [{0 .. names-1}], distinct across processes; at
+    most one call per process. Raises [Failure] if the namespace is
+    exhausted (more than [names] participants). *)

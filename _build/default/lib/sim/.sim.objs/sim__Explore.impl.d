@@ -1,0 +1,1 @@
+lib/sim/explore.ml: Array Printexc Rng Sched

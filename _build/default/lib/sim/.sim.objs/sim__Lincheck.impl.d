@@ -1,0 +1,1 @@
+lib/sim/lincheck.ml: List Sched

@@ -1,0 +1,1 @@
+lib/sim/op.ml: Fmt Register

@@ -1,0 +1,1 @@
+lib/sim/sched.ml: Array Ctx Effect Fmt Hashtbl List Op Option Printf Register Rng

@@ -1,0 +1,1 @@
+lib/sim/visibility.ml: Array Fun Hashtbl List Op

@@ -1,0 +1,41 @@
+(** Library of scheduling adversaries.
+
+    An adversary strategy is a {!Sched.adversary}: a class (which fixes
+    what it may observe) plus a decision function. The strategies here
+    are the generic ones used across experiments; algorithm-specific
+    attack adversaries (e.g. the adaptive attack on the log* algorithm)
+    live next to the experiments that use them. *)
+
+val round_robin : unit -> Sched.adversary
+(** Oblivious. Fixed cyclic schedule [0, 1, ..., n-1, 0, ...]; entries
+    for processes that already finished are skipped at no cost. *)
+
+val random_oblivious : seed:int64 -> Sched.adversary
+(** Oblivious. A uniformly random process id per slot, committed in
+    advance (the stream depends only on the seed); slots belonging to
+    finished processes are skipped at no cost. *)
+
+val fixed_schedule : ?then_halt:bool -> int array -> Sched.adversary
+(** Oblivious. Follows the given pid sequence, skipping entries for
+    processes that are no longer running. When the sequence is
+    exhausted: halts (crashing the rest) if [then_halt] (default), else
+    continues round-robin. *)
+
+val adaptive : string -> (Sched.view -> Sched.decision) -> Sched.adversary
+(** Fully adaptive custom strategy. *)
+
+val location_oblivious :
+  string -> (Sched.view -> Sched.decision) -> Sched.adversary
+
+val rw_oblivious : string -> (Sched.view -> Sched.decision) -> Sched.adversary
+
+val with_crashes : (int * int) list -> Sched.adversary -> Sched.adversary
+(** [with_crashes [(pid, s); ...] adv] behaves like [adv] but crashes
+    process [pid] as soon as it has taken [s] steps. The wrapper has the
+    same class as [adv] (crash times are fixed in advance). *)
+
+val random_crashes :
+  seed:int64 -> crash_prob:float -> Sched.adversary -> Sched.adversary
+(** Before each decision, crashes a uniformly chosen runnable process
+    with probability [crash_prob], but never crashes the last runnable
+    process (so that a winner can still emerge). *)

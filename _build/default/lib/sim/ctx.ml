@@ -1,0 +1,21 @@
+type _ Effect.t +=
+  | Read_eff : Register.t -> int Effect.t
+  | Write_eff : Register.t * int -> unit Effect.t
+  | Flip_eff : int -> int Effect.t
+  | Flip_geom_eff : int -> int Effect.t
+
+type t = { pid : int }
+
+let make ~pid = { pid }
+
+let pid t = t.pid
+
+let read _t r = Effect.perform (Read_eff r)
+
+let write _t r v = Effect.perform (Write_eff (r, v))
+
+let flip _t bound = Effect.perform (Flip_eff bound)
+
+let flip_bool t = flip t 2 = 1
+
+let flip_geometric _t l = Effect.perform (Flip_geom_eff l)

@@ -1,0 +1,40 @@
+(** Process-side view of the shared-memory system.
+
+    Simulated process code is ordinary OCaml code that receives a [Ctx.t]
+    and calls {!read}, {!write} and {!flip}. Each call performs an OCaml
+    effect; the scheduler suspends the process {e before} the operation
+    executes, so an adversary observes a pending operation exactly as in
+    the asynchronous shared-memory model. Coin flips are local steps:
+    they resolve immediately (they cost no shared-memory step) but are
+    recorded in the trace, so an adaptive adversary can base scheduling
+    decisions on their outcomes. *)
+
+type t
+
+val make : pid:int -> t
+(** Used by the scheduler; algorithm code never calls this. *)
+
+val pid : t -> int
+(** Identifier of the executing process, in [\[0, n)]. *)
+
+val read : t -> Register.t -> int
+(** Shared-memory read; counts as one step. *)
+
+val write : t -> Register.t -> int -> unit
+(** Shared-memory write; counts as one step. *)
+
+val flip : t -> int -> int
+(** [flip ctx bound] is a local random draw, uniform in [\[0, bound)]. *)
+
+val flip_bool : t -> bool
+
+val flip_geometric : t -> int -> int
+(** The distribution of Figure 1, line 3; see {!Rng.geometric_capped}. *)
+
+(**/**)
+
+type _ Effect.t +=
+  | Read_eff : Register.t -> int Effect.t
+  | Write_eff : Register.t * int -> unit Effect.t
+  | Flip_eff : int -> int Effect.t
+  | Flip_geom_eff : int -> int Effect.t

@@ -1,0 +1,138 @@
+(* Huge-arity choice points (e.g. probability draws over 2^20 values)
+   are branched over a bounded set of evenly spaced representative
+   outcomes instead of exhaustively. *)
+let max_branch = 8
+
+(* Execute one run following the choice prefix [path]; uncontrolled
+   choices fall back to round-robin scheduling and pseudo-random flips
+   (seeded by [tail_seed]). Returns the final scheduler and, when a
+   choice point sits at index [length path] within [depth], its
+   (capped) arity — the children of this prefix in the DFS. *)
+let run_path ~tail_seed ~depth ~programs (path : int array) =
+  let cursor = ref 0 in
+  let branch = ref None in
+  let next_choice arity =
+    let i = !cursor in
+    incr cursor;
+    if i < Array.length path then Some path.(i)
+    else begin
+      if i = Array.length path && i < depth && !branch = None then
+        branch := Some (min arity max_branch);
+      None
+    end
+  in
+  let oracle ~pid:_ ~bound =
+    let arity = if bound < 0 then -bound else bound in
+    match next_choice arity with
+    | Some c ->
+        let outcome =
+          if arity <= max_branch then c else c * (arity / max_branch)
+        in
+        Some (if bound < 0 then outcome + 1 else outcome)
+    | None -> None
+  in
+  let rr = ref 0 in
+  let decide (view : Sched.view) =
+    match Array.length view.runnable with
+    | 0 -> Sched.Halt
+    | m -> (
+        match next_choice (min m max_branch) with
+        | Some c -> Sched.Schedule view.runnable.(c mod m)
+        | None ->
+            incr rr;
+            Sched.Schedule view.runnable.(!rr mod m))
+  in
+  let sched = Sched.create ~seed:tail_seed ~flip_oracle:oracle (programs ()) in
+  Sched.run sched
+    { Sched.adv_name = "explorer"; adv_klass = Sched.Adaptive; decide };
+  (sched, !branch)
+
+(* DFS over choice prefixes. [on_execution] sees every completed run and
+   may raise to abort the search. *)
+let dfs ~max_paths ~seed ~depth ~programs ~on_execution =
+  let tail_rng = Rng.create seed in
+  let count = ref 0 in
+  let stack = ref [ [||] ] in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | path :: rest ->
+        stack := rest;
+        if !count < max_paths then begin
+          let sched, branch =
+            run_path ~tail_seed:(Rng.next tail_rng) ~depth ~programs path
+          in
+          incr count;
+          on_execution ~path ~sched;
+          (match branch with
+          | Some arity ->
+              for c = arity - 1 downto 0 do
+                stack := Array.append path [| c |] :: !stack
+              done
+          | None -> ());
+          loop ()
+        end
+  in
+  loop ();
+  !count
+
+let explore ?(max_paths = 2_000_000) ?(seed = 0xE8920AL) ~depth ~programs
+    ~check () =
+  dfs ~max_paths ~seed ~depth ~programs ~on_execution:(fun ~path:_ ~sched ->
+      check sched)
+
+type violation = {
+  path : int array;
+  message : string;
+  executions : int;
+}
+
+exception Found of int array * string
+
+let find_violation ?(max_paths = 2_000_000) ?(seed = 0xE8920AL) ~depth
+    ~programs ~check () =
+  let executions = ref 0 in
+  let attempt path =
+    match
+      let sched, _ = run_path ~tail_seed:seed ~depth ~programs path in
+      check sched
+    with
+    | () -> None
+    | exception e -> Some (Printexc.to_string e)
+  in
+  match
+    dfs ~max_paths ~seed ~depth ~programs ~on_execution:(fun ~path ~sched ->
+        incr executions;
+        match check sched with
+        | () -> ()
+        | exception e -> raise (Found (path, Printexc.to_string e)))
+  with
+  | _count -> None
+  | exception Found (path, message) ->
+      (* Greedy shrink: drop one choice at a time (from the end first)
+         while the violation still reproduces deterministically. *)
+      let shrunk = ref path and msg = ref message in
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        let len = Array.length !shrunk in
+        let i = ref (len - 1) in
+        while not !progress && !i >= 0 do
+          let candidate =
+            Array.append (Array.sub !shrunk 0 !i)
+              (Array.sub !shrunk (!i + 1) (len - !i - 1))
+          in
+          (match attempt candidate with
+          | Some m ->
+              shrunk := candidate;
+              msg := m;
+              progress := true
+          | None -> ());
+          decr i
+        done
+      done;
+      Some { path = !shrunk; message = !msg; executions = !executions }
+
+let replay ?(seed = 0xE8920AL) ~path ~programs () =
+  let sched, _ = run_path ~tail_seed:seed ~depth:0 ~programs path in
+  sched

@@ -1,0 +1,89 @@
+type 'state spec = {
+  initial : 'state;
+  apply : 'state -> op:int -> result:int -> 'state option;
+}
+
+type operation = {
+  op : int;
+  result : int;
+  start_time : int;
+  end_time : int;
+}
+
+(* DFS over linearization prefixes: at each point, any pending operation
+   that is "minimal" (no other operation ended before it started) may be
+   linearized next if the spec accepts it. *)
+let linearizable spec ops =
+  let rec search state remaining =
+    match remaining with
+    | [] -> true
+    | _ ->
+        let minimal o =
+          not
+            (List.exists
+               (fun o' -> o' != o && o'.end_time < o.start_time)
+               remaining)
+        in
+        List.exists
+          (fun o ->
+            minimal o
+            &&
+            match spec.apply state ~op:o.op ~result:o.result with
+            | Some state' ->
+                search state' (List.filter (fun o' -> o' != o) remaining)
+            | None -> false)
+          remaining
+  in
+  search spec.initial ops
+
+let tas_spec =
+  {
+    initial = false;
+    apply =
+      (fun state ~op:_ ~result ->
+        match (state, result) with
+        | false, 0 -> Some true
+        | true, 1 -> Some true
+        | false, 1 | true, 0 -> None
+        | _, _ -> None);
+  }
+
+let tas_history_of_sched sched =
+  let ops = ref [] in
+  for pid = Sched.n sched - 1 downto 0 do
+    match Sched.result sched pid with
+    | Some result ->
+        let fin = Sched.finish_time sched pid in
+        let start =
+          let s = Sched.first_step_time sched pid in
+          if s < 0 then fin else s
+        in
+        ops := { op = pid; result; start_time = start; end_time = fin } :: !ops
+    | None -> ()
+  done;
+  !ops
+
+let check_tas_sched sched =
+  let history = tas_history_of_sched sched in
+  if linearizable tas_spec history then true
+  else
+    (* A pending (crashed) call may have taken effect: linearizability
+       permits completing it. Try each crashed process that took at
+       least one step as a phantom winner. *)
+    let rec try_phantom pid =
+      if pid >= Sched.n sched then false
+      else if
+        Sched.status sched pid = Crashed
+        && Sched.first_step_time sched pid >= 0
+        && linearizable tas_spec
+             ({
+                op = pid;
+                result = 0;
+                start_time = Sched.first_step_time sched pid;
+                end_time = max_int;
+              }
+             :: history)
+      then true
+      else try_phantom (pid + 1)
+    in
+    try_phantom 0

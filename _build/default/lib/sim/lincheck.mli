@@ -1,0 +1,47 @@
+(** A small linearizability checker (Wing–Gong style search).
+
+    A history is a set of completed operations with real-time intervals;
+    it is linearizable w.r.t. a sequential specification if some total
+    order of the operations (a) respects real time — an operation that
+    finished before another started comes first — and (b) replays
+    legally through the specification from its initial state.
+
+    The search is exponential in the worst case; it is meant for the
+    small histories the simulator produces (a few dozen operations).
+
+    The TAS specification is provided; the checker itself is generic, so
+    tests can also verify e.g. consensus histories. *)
+
+type 'state spec = {
+  initial : 'state;
+  apply : 'state -> op:int -> result:int -> 'state option;
+      (** [apply state ~op ~result] is [Some state'] if the operation
+          [op] may return [result] in [state], else [None]. *)
+}
+
+type operation = {
+  op : int;  (** Operation label (algorithm-specific). *)
+  result : int;
+  start_time : int;  (** Invocation; -1 means "takes no steps", treated
+      as starting before everything. *)
+  end_time : int;  (** Response; [max_int] for never-returning. *)
+}
+
+val linearizable : 'state spec -> operation list -> bool
+
+val tas_spec : bool spec
+(** Operations are TAS() calls ([op] is ignored); result 0 is legal only
+    when the bit is unset, and sets it; result 1 only when set. *)
+
+val tas_history_of_sched : Sched.t -> operation list
+(** Build the history of a one-TAS-call-per-process execution: each
+    finished process contributes one operation with its first-step and
+    finish times and its program result. A process that finished without
+    taking steps observed only its own state; its interval is collapsed
+    to its finish time. *)
+
+val check_tas_sched : Sched.t -> bool
+(** [linearizable tas_spec (tas_history_of_sched sched)], with the
+    convention that crashed processes are excluded (their TAS call may
+    or may not have taken effect; completed-operation linearizability is
+    what the paper's reduction needs). *)

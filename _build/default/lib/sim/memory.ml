@@ -1,0 +1,10 @@
+type t = { mutable count : int }
+
+let create () = { count = 0 }
+
+let alloc t =
+  let id = t.count in
+  t.count <- id + 1;
+  id
+
+let allocated t = t.count

@@ -1,0 +1,15 @@
+(** Register allocator and space accounting.
+
+    All shared registers of a simulated system are allocated from a
+    single [Memory.t]. The number of registers allocated is the space
+    complexity the paper's Section 5 reasons about. *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> int
+(** Allocate a fresh register id. *)
+
+val allocated : t -> int
+(** Total number of registers allocated so far. *)

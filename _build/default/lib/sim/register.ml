@@ -1,0 +1,17 @@
+type t = {
+  id : int;
+  name : string;
+  mutable value : int;
+  mutable last_writer : int;
+}
+
+let create ?(name = "r") mem =
+  { id = Memory.alloc mem; name; value = 0; last_writer = -1 }
+
+let read t = t.value
+
+let write t ~writer v =
+  t.value <- v;
+  t.last_writer <- writer
+
+let pp ppf t = Fmt.pf ppf "%s#%d=%d" t.name t.id t.value

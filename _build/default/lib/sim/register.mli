@@ -1,0 +1,26 @@
+(** Atomic multi-reader multi-writer register.
+
+    A register holds an [int] value (initially 0) and remembers the id of
+    the process that last wrote it ([-1] initially). The last-writer
+    field implements the paper's convention (Section 5) that every
+    written value carries the writer's identifier, which defines the
+    "visible" relation used by the covering argument. *)
+
+type t = private {
+  id : int;  (** Allocation id, unique within a {!Memory.t}. *)
+  name : string;  (** Debug name, e.g. ["ge[3].R[5]"]. *)
+  mutable value : int;
+  mutable last_writer : int;
+}
+
+val create : ?name:string -> Memory.t -> t
+(** Allocate a fresh register with initial value [0]. *)
+
+val read : t -> int
+(** Direct read; only the scheduler and test harnesses call this.
+    Simulated process code must use {!Ctx.read}. *)
+
+val write : t -> writer:int -> int -> unit
+(** Direct write; only the scheduler calls this. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of randomness in the simulator flows through a value of
+    type {!t}, so a simulation is fully reproducible from its seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Distinct seeds give
+    independent-looking streams. *)
+
+val copy : t -> t
+(** [copy t] is a generator with the same state as [t]; advancing one
+    does not affect the other. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator seeded from it,
+    suitable for an independent sub-stream. *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val geometric_capped : t -> int -> int
+(** [geometric_capped t l] samples the distribution of line 3 of the
+    paper's Figure 1: [Pr(x = i) = 1/2^i] for [1 <= i < l] and
+    [Pr(x = l) = 1/2^(l-1)]. [l] must be at least 1. *)

@@ -1,0 +1,341 @@
+type klass = Adaptive | Location_oblivious | Rw_oblivious | Oblivious
+
+let pp_klass ppf = function
+  | Adaptive -> Fmt.string ppf "adaptive"
+  | Location_oblivious -> Fmt.string ppf "location-oblivious"
+  | Rw_oblivious -> Fmt.string ppf "rw-oblivious"
+  | Oblivious -> Fmt.string ppf "oblivious"
+
+type status = Running | Finished of int | Crashed
+
+type pending_view = {
+  view_pid : int;
+  view_kind : [ `Read | `Write ] option;
+  view_reg : int option;
+  view_reg_name : string option;
+  view_value : int option;
+  view_steps : int;
+}
+
+type view = {
+  view_time : int;
+  runnable : int array;
+  pending_of : int -> pending_view;
+}
+
+type decision =
+  | Schedule of int
+  | Crash_proc of int
+  | Halt
+
+type adversary = {
+  adv_name : string;
+  adv_klass : klass;
+  decide : view -> decision;
+}
+
+type proc = {
+  pid : int;
+  mutable p_status : status;
+  mutable p_pending : Op.pending option;
+  mutable p_resume : (unit -> unit) option;
+  mutable p_steps : int;
+  mutable p_flips : int;
+  mutable p_rmrs : int;
+  mutable p_first_step : int;
+  mutable p_finish : int;
+}
+
+type t = {
+  rng : Rng.t;
+  procs : proc array;
+  mutable s_time : int;
+  record_trace : bool;
+  mutable events : Op.event list;  (* reversed *)
+  flip_oracle : (pid:int -> bound:int -> int option) option;
+  (* Cache-coherence bookkeeping for RMR accounting: which processes
+     hold a valid cached copy of each register (by register id). *)
+  caches : (int, unit) Hashtbl.t array option ref;
+}
+
+(* [caches] is sized lazily by the largest register id seen. *)
+let cache_tbl t reg_id =
+  let ensure size =
+    let cur = match !(t.caches) with None -> 0 | Some a -> Array.length a in
+    if size > cur then begin
+      let a = Array.init size (fun i ->
+          match !(t.caches) with
+          | Some old when i < Array.length old -> old.(i)
+          | _ -> Hashtbl.create 4)
+      in
+      t.caches := Some a
+    end
+  in
+  ensure (reg_id + 1);
+  (Option.get !(t.caches)).(reg_id)
+
+(* CC-model RMR accounting: a read is local iff the reader holds a valid
+   cached copy; it caches the register. A write always counts as an RMR
+   and invalidates every other copy. *)
+let account_read t p reg_id =
+  let tbl = cache_tbl t reg_id in
+  if not (Hashtbl.mem tbl p.pid) then begin
+    p.p_rmrs <- p.p_rmrs + 1;
+    Hashtbl.replace tbl p.pid ()
+  end
+
+let account_write t p reg_id =
+  let tbl = cache_tbl t reg_id in
+  Hashtbl.reset tbl;
+  Hashtbl.replace tbl p.pid ();
+  p.p_rmrs <- p.p_rmrs + 1
+
+let draw t pid bound =
+  match t.flip_oracle with
+  | Some oracle -> (
+      match oracle ~pid ~bound with
+      | Some v -> v
+      | None -> if bound < 0 then Rng.geometric_capped t.rng (-bound) else Rng.int t.rng bound)
+  | None ->
+      if bound < 0 then Rng.geometric_capped t.rng (-bound) else Rng.int t.rng bound
+
+let add_event t e = if t.record_trace then t.events <- e :: t.events
+
+let start t p (body : Ctx.t -> int) =
+  let open Effect.Deep in
+  let ctx = Ctx.make ~pid:p.pid in
+  let retc result =
+    p.p_status <- Finished result;
+    p.p_pending <- None;
+    p.p_resume <- None;
+    p.p_finish <- t.s_time;
+    add_event t (Op.Finish { time = t.s_time; pid = p.pid; result })
+  in
+  let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
+    fun eff ->
+    match eff with
+    | Ctx.Read_eff r ->
+        Some
+          (fun k ->
+            p.p_pending <- Some { Op.reg = r; kind = Op.Read };
+            p.p_resume <-
+              Some
+                (fun () ->
+                  p.p_pending <- None;
+                  account_read t p r.Register.id;
+                  let v = Register.read r in
+                  add_event t
+                    (Op.Step
+                       {
+                         time = t.s_time;
+                         pid = p.pid;
+                         reg = r.Register.id;
+                         reg_name = r.Register.name;
+                         kind = Op.Read;
+                         read_value = Some v;
+                         seen_writer = r.Register.last_writer;
+                       });
+                  continue k v))
+    | Ctx.Write_eff (r, v) ->
+        Some
+          (fun k ->
+            p.p_pending <- Some { Op.reg = r; kind = Op.Write v };
+            p.p_resume <-
+              Some
+                (fun () ->
+                  p.p_pending <- None;
+                  account_write t p r.Register.id;
+                  Register.write r ~writer:p.pid v;
+                  add_event t
+                    (Op.Step
+                       {
+                         time = t.s_time;
+                         pid = p.pid;
+                         reg = r.Register.id;
+                         reg_name = r.Register.name;
+                         kind = Op.Write v;
+                         read_value = None;
+                         seen_writer = -1;
+                       });
+                  continue k ()))
+    | Ctx.Flip_eff bound ->
+        Some
+          (fun k ->
+            let outcome = draw t p.pid bound in
+            p.p_flips <- p.p_flips + 1;
+            add_event t
+              (Op.Flip { time = t.s_time; pid = p.pid; bound; outcome });
+            continue k outcome)
+    | Ctx.Flip_geom_eff l ->
+        Some
+          (fun k ->
+            let outcome = draw t p.pid (-l) in
+            p.p_flips <- p.p_flips + 1;
+            add_event t
+              (Op.Flip { time = t.s_time; pid = p.pid; bound = -l; outcome });
+            continue k outcome)
+    | _ -> None
+  in
+  match_with body ctx { retc; exnc = raise; effc }
+
+let create ?(seed = 0x5EEDL) ?(record_trace = false) ?flip_oracle programs =
+  let rng = Rng.create seed in
+  let procs =
+    Array.mapi
+      (fun pid _ ->
+        {
+          pid;
+          p_status = Running;
+          p_pending = None;
+          p_resume = None;
+          p_steps = 0;
+          p_flips = 0;
+          p_rmrs = 0;
+          p_first_step = -1;
+          p_finish = -1;
+        })
+      programs
+  in
+  let t =
+    {
+      rng;
+      procs;
+      s_time = 0;
+      record_trace;
+      events = [];
+      flip_oracle;
+      caches = ref None;
+    }
+  in
+  Array.iteri (fun pid body -> start t procs.(pid) body) programs;
+  t
+
+let n t = Array.length t.procs
+let time t = t.s_time
+let status t pid = t.procs.(pid).p_status
+let steps t pid = t.procs.(pid).p_steps
+let flips t pid = t.procs.(pid).p_flips
+let rmrs t pid = t.procs.(pid).p_rmrs
+
+let max_rmrs t =
+  Array.fold_left (fun acc p -> max acc p.p_rmrs) 0 t.procs
+let pending t pid = t.procs.(pid).p_pending
+let first_step_time t pid = t.procs.(pid).p_first_step
+let finish_time t pid = t.procs.(pid).p_finish
+
+let result t pid =
+  match t.procs.(pid).p_status with Finished r -> Some r | _ -> None
+
+let runnable t =
+  let out = ref [] in
+  for pid = Array.length t.procs - 1 downto 0 do
+    if t.procs.(pid).p_status = Running then out := pid :: !out
+  done;
+  Array.of_list !out
+
+let any_running t =
+  Array.exists (fun p -> p.p_status = Running) t.procs
+
+let step t pid =
+  let p = t.procs.(pid) in
+  match (p.p_status, p.p_resume) with
+  | Running, Some resume ->
+      t.s_time <- t.s_time + 1;
+      p.p_steps <- p.p_steps + 1;
+      if p.p_first_step < 0 then p.p_first_step <- t.s_time;
+      p.p_resume <- None;
+      resume ()
+  | Running, None ->
+      (* A running process is always poised at an operation: [create]
+         runs every program to its first effect. *)
+      invalid_arg "Sched.step: process has no pending operation"
+  | (Finished _ | Crashed), _ ->
+      invalid_arg "Sched.step: process is not running"
+
+let crash t pid =
+  let p = t.procs.(pid) in
+  match p.p_status with
+  | Running ->
+      p.p_status <- Crashed;
+      p.p_pending <- None;
+      p.p_resume <- None;
+      add_event t (Op.Crash { time = t.s_time; pid })
+  | Finished _ | Crashed -> invalid_arg "Sched.crash: process is not running"
+
+let filter_pending klass p =
+  let kind, reg, reg_name, value =
+    match p.p_pending with
+    | None -> (None, None, None, None)
+    | Some { Op.reg; kind } -> (
+        match kind with
+        | Op.Read -> (Some `Read, Some reg.Register.id, Some reg.Register.name, None)
+        | Op.Write v ->
+            (Some `Write, Some reg.Register.id, Some reg.Register.name, Some v))
+  in
+  match klass with
+  | Adaptive ->
+      {
+        view_pid = p.pid;
+        view_kind = kind;
+        view_reg = reg;
+        view_reg_name = reg_name;
+        view_value = value;
+        view_steps = p.p_steps;
+      }
+  | Location_oblivious ->
+      {
+        view_pid = p.pid;
+        view_kind = kind;
+        view_reg = None;
+        view_reg_name = None;
+        view_value = value;
+        view_steps = p.p_steps;
+      }
+  | Rw_oblivious ->
+      {
+        view_pid = p.pid;
+        view_kind = None;
+        view_reg = reg;
+        view_reg_name = reg_name;
+        view_value = None;
+        view_steps = p.p_steps;
+      }
+  | Oblivious ->
+      {
+        view_pid = p.pid;
+        view_kind = None;
+        view_reg = None;
+        view_reg_name = None;
+        view_value = None;
+        view_steps = p.p_steps;
+      }
+
+let view t klass =
+  {
+    view_time = t.s_time;
+    runnable = runnable t;
+    pending_of = (fun pid -> filter_pending klass t.procs.(pid));
+  }
+
+let run ?(max_total_steps = 10_000_000) t adv =
+  let rec loop () =
+    if any_running t then begin
+      if t.s_time > max_total_steps then
+        failwith
+          (Printf.sprintf "Sched.run: exceeded %d steps under adversary %s"
+             max_total_steps adv.adv_name);
+      (match adv.decide (view t adv.adv_klass) with
+      | Schedule pid -> step t pid
+      | Crash_proc pid -> crash t pid
+      | Halt -> Array.iter (fun p -> if p.p_status = Running then crash t p.pid) t.procs);
+      loop ()
+    end
+  in
+  loop ()
+
+let trace t = List.rev t.events
+
+let max_steps t =
+  Array.fold_left (fun acc p -> max acc p.p_steps) 0 t.procs
+
+let results t = Array.map (fun p -> match p.p_status with Finished r -> Some r | _ -> None) t.procs

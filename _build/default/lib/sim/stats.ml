@@ -1,0 +1,52 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p95 : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty sample"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile xs p =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty sample"
+  | sorted ->
+      if not (p >= 0.0 && p <= 1.0) then
+        invalid_arg "Stats.percentile: p must be in [0, 1]";
+      let n = List.length sorted in
+      let rank =
+        min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)
+      in
+      List.nth sorted (max 0 rank)
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty sample"
+  | _ ->
+      let n = List.length xs in
+      let m = mean xs in
+      let var =
+        if n < 2 then 0.0
+        else
+          List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+          /. float_of_int (n - 1)
+      in
+      {
+        count = n;
+        mean = m;
+        stddev = sqrt var;
+        min = List.fold_left Float.min infinity xs;
+        max = List.fold_left Float.max neg_infinity xs;
+        median = percentile xs 0.5;
+        p95 = percentile xs 0.95;
+      }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%.2f +/- %.2f (median %.2f, p95 %.2f, n=%d)" s.mean s.stddev
+    s.median s.p95 s.count

@@ -1,0 +1,23 @@
+(** Small descriptive-statistics helpers for experiment harnesses. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** Sample standard deviation (n-1); 0 for n < 2. *)
+  min : float;
+  max : float;
+  median : float;
+  p95 : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val mean : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs p] for [p] in [\[0, 1\]], nearest-rank on the sorted
+    sample. *)
+
+val pp_summary : summary Fmt.t
+(** ["mean +/- sd (median m, p95 q, n)"]. *)

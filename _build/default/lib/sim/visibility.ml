@@ -1,0 +1,40 @@
+let sees trace =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  List.iter
+    (function
+      | Op.Step { pid; kind = Op.Read; seen_writer; _ }
+        when seen_writer >= 0 && seen_writer <> pid ->
+          if not (Hashtbl.mem seen (pid, seen_writer)) then begin
+            Hashtbl.add seen (pid, seen_writer) ();
+            out := (pid, seen_writer) :: !out
+          end
+      | _ -> ())
+    trace;
+  List.rev !out
+
+(* Plain union-find; n is small (processes). *)
+let groups ~n trace =
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then if ra < rb then parent.(rb) <- ra else parent.(ra) <- rb
+  in
+  List.iter (fun (p, q) -> if p < n && q < n then union p q) (sees trace);
+  Array.init n (fun i -> find i)
+
+let group_count ~n trace =
+  let reps = groups ~n trace in
+  Array.to_list reps |> List.sort_uniq compare |> List.length
+
+let saw_nobody ~n trace =
+  let tainted = Array.make n false in
+  List.iter
+    (function
+      | Op.Step { pid; kind = Op.Read; seen_writer; _ }
+        when seen_writer >= 0 && seen_writer <> pid ->
+          if pid < n then tainted.(pid) <- true
+      | _ -> ())
+    trace;
+  List.filter (fun pid -> not tainted.(pid)) (List.init n Fun.id)

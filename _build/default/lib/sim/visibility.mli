@@ -1,0 +1,28 @@
+(** The visibility relations of Section 5.
+
+    The paper's covering argument assumes every written value carries the
+    writer's identifier; a process [q] is {e visible} on a register whose
+    last writer is [q], and [p] {e sees} [q] when [p] reads a register on
+    which [q] is visible. The relation "p sees q or q sees p", closed
+    reflexively-transitively, partitions the processes into groups
+    ([=_E] in the paper) — processes that may know of each other.
+
+    These functions recover both relations from a recorded trace
+    (executions must be created with [record_trace:true]). *)
+
+val sees : Op.event list -> (int * int) list
+(** All pairs [(p, q)], [p <> q], such that [p] read a register last
+    written by [q], in trace order, deduplicated. *)
+
+val groups : n:int -> Op.event list -> int array
+(** [groups ~n trace] maps each pid to the representative (smallest pid)
+    of its [=_E]-equivalence class. Processes that saw nobody and were
+    seen by nobody are singletons. *)
+
+val group_count : n:int -> Op.event list -> int
+(** Number of distinct equivalence classes. *)
+
+val saw_nobody : n:int -> Op.event list -> int list
+(** Pids whose every read returned a value written by nobody (or by
+    themselves) — the "undecided" processes the covering argument keeps
+    alive. *)

@@ -1,0 +1,1 @@
+test/test_combined.ml: Alcotest Combined Int64 Leaderelect List Option Printf Sim Tutil

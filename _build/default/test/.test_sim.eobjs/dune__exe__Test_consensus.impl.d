@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Consensus Int64 List Option Printf Sim Tutil

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Consensus Hashtbl Int64 Leaderelect List Lowerbound Option Primitives QCheck2 QCheck_alcotest Renaming Rtas Sim

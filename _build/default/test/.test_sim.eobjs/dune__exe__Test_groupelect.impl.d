@@ -1,0 +1,1 @@
+test/test_groupelect.ml: Alcotest Array Groupelect Int64 List Option Printf Sim

@@ -1,0 +1,1 @@
+test/test_leaderelect.ml: Alcotest Array Groupelect Int64 Leaderelect List Lowerbound Option Printf Sim Tutil

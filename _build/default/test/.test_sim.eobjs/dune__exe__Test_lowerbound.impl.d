@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Array Float Leaderelect List Lowerbound Option Primitives Printf Sim

@@ -1,0 +1,1 @@
+test/test_primitives.ml: Alcotest Array Hashtbl Int64 List Option Primitives Printf Sim

@@ -1,0 +1,1 @@
+test/test_ratrace.ml: Alcotest Array Int64 List Option Printf Ratrace Sim String

@@ -1,0 +1,1 @@
+test/test_renaming.ml: Alcotest Array Int64 Leaderelect List Option Printf Renaming Sim

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Array Int64 Leaderelect List Option Sim

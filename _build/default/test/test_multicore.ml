@@ -1,0 +1,227 @@
+(* Tests for the real-multicore (Atomic/Domain) implementations.
+
+   These exercise the algorithms across true parallel domains; the
+   adversary is the OS scheduler, so assertions are safety properties
+   plus single-run liveness. Domain counts are kept small. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* Run [k] domains, each evaluating [body slot rng], and return results. *)
+let run_domains ~k body =
+  let domains =
+    List.init k (fun slot ->
+        Domain.spawn (fun () ->
+            let rng =
+              Random.State.make [| slot * 7919; 42; Hashtbl.hash slot |]
+            in
+            body slot rng))
+  in
+  List.map Domain.join domains
+
+let test_mc_le2_single_thread () =
+  (* Sequential: first caller wins, second loses. *)
+  for _ = 1 to 50 do
+    let le = Multicore.Mc_le2.create () in
+    let rng = Random.State.make [| 1 |] in
+    let a = Multicore.Mc_le2.elect le rng ~port:0 in
+    let b = Multicore.Mc_le2.elect le rng ~port:1 in
+    checkb "first wins" true a;
+    checkb "second loses" false b
+  done
+
+let test_mc_le2_parallel () =
+  for _ = 1 to 100 do
+    let le = Multicore.Mc_le2.create () in
+    let results =
+      run_domains ~k:2 (fun slot rng -> Multicore.Mc_le2.elect le rng ~port:slot)
+    in
+    let winners = List.length (List.filter Fun.id results) in
+    checki "exactly one winner" 1 winners
+  done
+
+let test_mc_le2_solo () =
+  let le = Multicore.Mc_le2.create () in
+  let rng = Random.State.make [| 3 |] in
+  checkb "solo wins" true (Multicore.Mc_le2.elect le rng ~port:1)
+
+let test_mc_tournament_parallel () =
+  List.iter
+    (fun k ->
+      for _ = 1 to 50 do
+        let le = Multicore.Mc_tournament.create ~n:k in
+        let results =
+          run_domains ~k (fun slot rng ->
+              Multicore.Mc_tournament.elect le rng ~slot)
+        in
+        let winners = List.length (List.filter Fun.id results) in
+        checki "exactly one winner" 1 winners
+      done)
+    [ 2; 3; 4 ]
+
+let test_mc_tournament_sequential () =
+  let le = Multicore.Mc_tournament.create ~n:4 in
+  let rng = Random.State.make [| 5 |] in
+  let results =
+    List.init 4 (fun slot -> Multicore.Mc_tournament.elect le rng ~slot)
+  in
+  checki "one winner" 1 (List.length (List.filter Fun.id results))
+
+let test_mc_sift_parallel () =
+  for _ = 1 to 50 do
+    let le = Multicore.Mc_sift.create ~n:4 in
+    let results =
+      run_domains ~k:4 (fun slot rng -> Multicore.Mc_sift.elect le rng ~slot)
+    in
+    let winners = List.length (List.filter Fun.id results) in
+    checki "exactly one winner" 1 winners
+  done
+
+let test_mc_sift_solo () =
+  let le = Multicore.Mc_sift.create ~n:64 in
+  let rng = Random.State.make [| 7 |] in
+  checkb "solo wins" true (Multicore.Mc_sift.elect le rng ~slot:13)
+
+let test_mc_splitter_solo () =
+  let sp = Multicore.Mc_splitter.create () in
+  checkb "solo stops" true (Multicore.Mc_splitter.split sp ~id:5 = Multicore.Mc_splitter.S)
+
+let test_mc_splitter_parallel () =
+  for _ = 1 to 100 do
+    let sp = Multicore.Mc_splitter.create () in
+    let results =
+      run_domains ~k:3 (fun slot _rng -> Multicore.Mc_splitter.split sp ~id:(slot + 1))
+    in
+    let count v = List.length (List.filter (fun r -> r = v) results) in
+    checkb "at most one S" true (count Multicore.Mc_splitter.S <= 1);
+    checkb "not all L" true (count Multicore.Mc_splitter.L <= 2);
+    checkb "not all R" true (count Multicore.Mc_splitter.R <= 2)
+  done
+
+let test_mc_elim_parallel () =
+  for _ = 1 to 50 do
+    let le = Multicore.Mc_elim.create ~n:4 in
+    let results =
+      run_domains ~k:4 (fun slot rng -> Multicore.Mc_elim.elect le rng ~id:(slot + 1))
+    in
+    checki "exactly one winner" 1 (List.length (List.filter Fun.id results))
+  done
+
+let test_mc_elim_sequential () =
+  let le = Multicore.Mc_elim.create ~n:4 in
+  let rng = Random.State.make [| 9 |] in
+  let results = List.init 4 (fun slot -> Multicore.Mc_elim.elect le rng ~id:(slot + 1)) in
+  checki "one winner" 1 (List.length (List.filter Fun.id results))
+
+let tas_impls =
+  [
+    ("tournament", fun () -> Multicore.Mc_tas.of_tournament ~n:4);
+    ("sift", fun () -> Multicore.Mc_tas.of_sift ~n:4);
+    ("elim", fun () -> Multicore.Mc_tas.of_elim ~n:4);
+    ("rr-lean", fun () -> Multicore.Mc_tas.of_rr_lean ~n:4);
+    ("native", fun () -> Multicore.Mc_tas.native ());
+  ]
+
+let test_mc_tas_unique_zero (name, make) () =
+  ignore name;
+  for _ = 1 to 50 do
+    let tas = make () in
+    let results =
+      run_domains ~k:4 (fun slot rng -> Multicore.Mc_tas.apply tas rng ~slot)
+    in
+    let zeros = List.length (List.filter (fun r -> r = 0) results) in
+    checki "exactly one 0" 1 zeros;
+    checki "others get 1" 3 (List.length (List.filter (fun r -> r = 1) results))
+  done
+
+let test_mc_tas_le2_pair () =
+  for _ = 1 to 100 do
+    let tas = Multicore.Mc_tas.of_le2 () in
+    let results =
+      run_domains ~k:2 (fun slot rng -> Multicore.Mc_tas.apply tas rng ~slot)
+    in
+    checki "exactly one 0" 1 (List.length (List.filter (fun r -> r = 0) results))
+  done
+
+let test_mc_tas_sequential_semantics () =
+  let tas = Multicore.Mc_tas.of_tournament ~n:4 in
+  let rng = Random.State.make [| 11 |] in
+  checki "first gets 0" 0 (Multicore.Mc_tas.apply tas rng ~slot:0);
+  checki "second gets 1" 1 (Multicore.Mc_tas.apply tas rng ~slot:1);
+  checki "third gets 1" 1 (Multicore.Mc_tas.apply tas rng ~slot:2)
+
+let () =
+  Alcotest.run "multicore"
+    [
+      ( "le2",
+        [
+          Alcotest.test_case "sequential" `Quick test_mc_le2_single_thread;
+          Alcotest.test_case "parallel" `Quick test_mc_le2_parallel;
+          Alcotest.test_case "solo" `Quick test_mc_le2_solo;
+        ] );
+      ( "tournament",
+        [
+          Alcotest.test_case "parallel" `Quick test_mc_tournament_parallel;
+          Alcotest.test_case "sequential" `Quick test_mc_tournament_sequential;
+        ] );
+      ( "sift",
+        [
+          Alcotest.test_case "parallel" `Quick test_mc_sift_parallel;
+          Alcotest.test_case "solo" `Quick test_mc_sift_solo;
+        ] );
+      ( "splitter",
+        [
+          Alcotest.test_case "solo" `Quick test_mc_splitter_solo;
+          Alcotest.test_case "parallel" `Quick test_mc_splitter_parallel;
+        ] );
+      ( "elim",
+        [
+          Alcotest.test_case "parallel" `Quick test_mc_elim_parallel;
+          Alcotest.test_case "sequential" `Quick test_mc_elim_sequential;
+        ] );
+      ( "rr-lean",
+        [
+          Alcotest.test_case "parallel" `Quick (fun () ->
+              for _ = 1 to 50 do
+                let le = Multicore.Mc_rr_lean.create ~n:4 in
+                let results =
+                  run_domains ~k:4 (fun slot rng ->
+                      Multicore.Mc_rr_lean.elect le rng ~id:(slot + 1))
+                in
+                checki "exactly one winner" 1
+                  (List.length (List.filter Fun.id results))
+              done);
+          Alcotest.test_case "larger crowd" `Quick (fun () ->
+              for _ = 1 to 10 do
+                let le = Multicore.Mc_rr_lean.create ~n:8 in
+                let results =
+                  run_domains ~k:8 (fun slot rng ->
+                      Multicore.Mc_rr_lean.elect le rng ~id:(slot + 1))
+                in
+                checki "exactly one winner" 1
+                  (List.length (List.filter Fun.id results))
+              done);
+          Alcotest.test_case "solo" `Quick (fun () ->
+              let le = Multicore.Mc_rr_lean.create ~n:8 in
+              let rng = Random.State.make [| 21 |] in
+              checkb "solo wins" true (Multicore.Mc_rr_lean.elect le rng ~id:3));
+          Alcotest.test_case "sequential" `Quick (fun () ->
+              let le = Multicore.Mc_rr_lean.create ~n:4 in
+              let rng = Random.State.make [| 23 |] in
+              let results =
+                List.init 4 (fun slot ->
+                    Multicore.Mc_rr_lean.elect le rng ~id:(slot + 1))
+              in
+              checki "one winner" 1 (List.length (List.filter Fun.id results)));
+        ] );
+      ( "tas",
+        List.map
+          (fun (name, make) ->
+            Alcotest.test_case name `Quick (test_mc_tas_unique_zero (name, make)))
+          tas_impls
+        @ [
+            Alcotest.test_case "le2 pair" `Quick test_mc_tas_le2_pair;
+            Alcotest.test_case "sequential semantics" `Quick
+              test_mc_tas_sequential_semantics;
+          ] );
+    ]

@@ -1,0 +1,441 @@
+(* Tests for elimination paths, the primary tree, the backup grid and
+   both RatRace variants (Section 3). *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* {1 Elimination path} *)
+
+let ep_programs ~length k () =
+  let mem = Sim.Memory.create () in
+  let ep = Ratrace.Elim_path.create mem ~length in
+  Array.init k (fun _ ctx ->
+      match Ratrace.Elim_path.run ep ctx with
+      | Ratrace.Elim_path.Lost -> 0
+      | Ratrace.Elim_path.Won -> 1
+      | Ratrace.Elim_path.Fell_off -> 2)
+
+let test_ep_solo_wins () =
+  let sched = Sim.Sched.create (ep_programs ~length:4 1 ()) in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  checki "solo wins" 1 (Option.get (Sim.Sched.result sched 0))
+
+let test_ep_claim_3_1 () =
+  (* Claim 3.1: at most [length] entrants => nobody falls off; and at
+     most one winner, exactly one when crash-free. *)
+  List.iter
+    (fun (length, k) ->
+      for seed = 1 to 100 do
+        let sched =
+          Sim.Sched.create ~seed:(Int64.of_int seed) (ep_programs ~length k ())
+        in
+        Sim.Sched.run sched
+          (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 3)));
+        let results = Array.map Option.get (Sim.Sched.results sched) in
+        let count v = Array.fold_left (fun a r -> if r = v then a + 1 else a) 0 results in
+        checki "nobody falls off" 0 (count 2);
+        checki "exactly one winner" 1 (count 1)
+      done)
+    [ (1, 1); (2, 2); (4, 4); (8, 8); (8, 3); (16, 16) ]
+
+let test_ep_exhaustive () =
+  let n =
+    Sim.Explore.explore ~depth:10 ~programs:(ep_programs ~length:2 2)
+      ~check:(fun sched ->
+        let winners =
+          Array.fold_left
+            (fun a r -> if r = Some 1 then a + 1 else a)
+            0 (Sim.Sched.results sched)
+        in
+        if winners > 1 then Alcotest.fail "two path winners";
+        if
+          Array.for_all Option.is_some (Sim.Sched.results sched)
+          && winners <> 1
+        then Alcotest.fail "no winner";
+        if Array.exists (fun r -> r = Some 2) (Sim.Sched.results sched) then
+          Alcotest.fail "fell off a length-2 path with 2 entrants")
+      ()
+  in
+  checkb "explored" true (n > 500)
+
+let test_ep_overflow_possible () =
+  (* With more entrants than nodes, falling off is possible (that is what
+     the backup path is for): run k = length + 1 sequentially; each
+     sequential caller wins splitter 0... so overflow needs concurrency.
+     Just check that the code reports Fell_off rather than raising. *)
+  let found = ref false in
+  for seed = 1 to 300 do
+    let sched =
+      Sim.Sched.create ~seed:(Int64.of_int seed) (ep_programs ~length:1 3 ())
+    in
+    Sim.Sched.run sched
+      (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 7)));
+    if Array.exists (fun r -> r = Some 2) (Sim.Sched.results sched) then
+      found := true
+  done;
+  checkb "overflow observed with k > length" true !found
+
+let test_ep_space () =
+  let mem = Sim.Memory.create () in
+  let _ = Ratrace.Elim_path.create mem ~length:10 in
+  (* 2 registers per splitter + 2 per 2-process election. *)
+  checki "4 registers per node" 40 (Sim.Memory.allocated mem)
+
+(* {1 Primary tree} *)
+
+let tree_programs ~height k () =
+  let mem = Sim.Memory.create () in
+  let tree = Ratrace.Primary_tree.create mem ~height in
+  Array.init k (fun _ ctx ->
+      match Ratrace.Primary_tree.run tree ctx with
+      | Ratrace.Primary_tree.Lost -> 0
+      | Ratrace.Primary_tree.Won -> 1
+      | Ratrace.Primary_tree.Fell_off leaf -> 100 + leaf)
+
+let test_tree_solo_wins () =
+  let sched = Sim.Sched.create (tree_programs ~height:3 1 ()) in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  checki "solo wins at the root splitter" 1 (Option.get (Sim.Sched.result sched 0))
+
+let test_tree_at_most_one_winner () =
+  for seed = 1 to 200 do
+    let sched =
+      Sim.Sched.create ~seed:(Int64.of_int seed) (tree_programs ~height:4 12 ())
+    in
+    Sim.Sched.run sched
+      (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 5)));
+    let winners =
+      Array.fold_left
+        (fun a r -> if r = Some 1 then a + 1 else a)
+        0 (Sim.Sched.results sched)
+    in
+    checkb "at most one tree winner" true (winners <= 1)
+  done
+
+let test_tree_fell_off_leaf_valid () =
+  for seed = 1 to 100 do
+    let sched =
+      Sim.Sched.create ~seed:(Int64.of_int seed) (tree_programs ~height:2 8 ())
+    in
+    Sim.Sched.run sched
+      (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 11)));
+    Array.iter
+      (function
+        | Some r when r >= 100 ->
+            checkb "leaf index in range" true (r - 100 >= 0 && r - 100 < 4)
+        | _ -> ())
+      (Sim.Sched.results sched)
+  done
+
+let test_tree_ascend_from_leaf_solo () =
+  let mem = Sim.Memory.create () in
+  let tree = Ratrace.Primary_tree.create mem ~height:3 in
+  let prog ctx =
+    if Ratrace.Primary_tree.ascend_from_leaf tree ctx ~leaf:2 then 1 else 0
+  in
+  let sched = Sim.Sched.create [| prog |] in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  checki "external ascender wins an empty tree" 1 (Option.get (Sim.Sched.result sched 0))
+
+let test_tree_space () =
+  let mem = Sim.Memory.create () in
+  let _ = Ratrace.Primary_tree.create mem ~height:3 in
+  (* 15 usable nodes (heap slot 0 unused but allocated): (2^4 - 1 + 1)
+     nodes x (2 rsplitter + 4 le3) registers. *)
+  checki "registers" 96 (Sim.Memory.allocated mem)
+
+(* {1 Backup grid} *)
+
+let grid_programs ~n k () =
+  let mem = Sim.Memory.create () in
+  let grid = Ratrace.Backup_grid.create mem ~n in
+  Array.init k (fun _ ctx ->
+      match Ratrace.Backup_grid.run grid ctx with
+      | Ratrace.Backup_grid.Lost -> 0
+      | Ratrace.Backup_grid.Won -> 1)
+
+let test_grid_solo_wins () =
+  let sched = Sim.Sched.create (grid_programs ~n:4 1 ()) in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  checki "solo wins at (0,0)" 1 (Option.get (Sim.Sched.result sched 0))
+
+let test_grid_one_winner () =
+  List.iter
+    (fun (n, k) ->
+      for seed = 1 to 100 do
+        let sched =
+          Sim.Sched.create ~seed:(Int64.of_int seed) (grid_programs ~n k ())
+        in
+        Sim.Sched.run sched
+          (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 3)));
+        let winners =
+          Array.fold_left
+            (fun a r -> if r = Some 1 then a + 1 else a)
+            0 (Sim.Sched.results sched)
+        in
+        checki "exactly one grid winner" 1 winners
+      done)
+    [ (2, 2); (4, 4); (8, 8); (8, 5) ]
+
+let test_grid_nobody_leaves () =
+  (* The Moir-Anderson guarantee: k <= n entrants never leave the grid;
+     [run] would raise. *)
+  for seed = 1 to 200 do
+    let sched =
+      Sim.Sched.create ~seed:(Int64.of_int seed) (grid_programs ~n:6 6 ())
+    in
+    Sim.Sched.run sched
+      (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 13)))
+  done
+
+(* {1 RatRace variants} *)
+
+let rr_programs make k () =
+  let mem = Sim.Memory.create () in
+  let elect = make mem in
+  Array.init k (fun _ ctx -> if elect ctx then 1 else 0)
+
+let classic_make n mem =
+  let rr = Ratrace.Rr_classic.create mem ~n in
+  Ratrace.Rr_classic.elect rr
+
+let lean_make n mem =
+  let rr = Ratrace.Ratrace_lean.create mem ~n in
+  Ratrace.Ratrace_lean.elect rr
+
+let check_one_winner sched =
+  let winners =
+    Array.fold_left
+      (fun a r -> if r = Some 1 then a + 1 else a)
+      0 (Sim.Sched.results sched)
+  in
+  checki "exactly one winner" 1 winners
+
+let test_classic_one_winner () =
+  List.iter
+    (fun (n, k) ->
+      for seed = 1 to 30 do
+        let sched =
+          Sim.Sched.create ~seed:(Int64.of_int seed) (rr_programs (classic_make n) k ())
+        in
+        Sim.Sched.run sched
+          (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 3)));
+        check_one_winner sched
+      done)
+    [ (2, 2); (4, 4); (8, 8); (16, 16) ]
+
+let test_classic_solo () =
+  let sched = Sim.Sched.create (rr_programs (classic_make 8) 1 ()) in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  checki "solo wins" 1 (Option.get (Sim.Sched.result sched 0))
+
+let test_classic_exhaustive_2 () =
+  let n =
+    Sim.Explore.explore ~depth:8 ~programs:(rr_programs (classic_make 2) 2)
+      ~check:(fun sched ->
+        let winners =
+          Array.fold_left
+            (fun a r -> if r = Some 1 then a + 1 else a)
+            0 (Sim.Sched.results sched)
+        in
+        if winners > 1 then Alcotest.fail "two winners";
+        if
+          Array.for_all Option.is_some (Sim.Sched.results sched)
+          && winners <> 1
+        then Alcotest.fail "no winner")
+      ()
+  in
+  checkb "explored" true (n > 200)
+
+let test_lean_one_winner () =
+  List.iter
+    (fun (n, k) ->
+      for seed = 1 to 30 do
+        let sched =
+          Sim.Sched.create ~seed:(Int64.of_int seed) (rr_programs (lean_make n) k ())
+        in
+        Sim.Sched.run sched
+          (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 3)));
+        check_one_winner sched
+      done)
+    [ (2, 2); (4, 4); (8, 8); (16, 16); (64, 64); (64, 17) ]
+
+let test_lean_solo () =
+  let sched = Sim.Sched.create (rr_programs (lean_make 8) 1 ()) in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  checki "solo wins" 1 (Option.get (Sim.Sched.result sched 0))
+
+let test_lean_exhaustive_2 () =
+  let n =
+    Sim.Explore.explore ~depth:8 ~programs:(rr_programs (lean_make 2) 2)
+      ~check:(fun sched ->
+        let winners =
+          Array.fold_left
+            (fun a r -> if r = Some 1 then a + 1 else a)
+            0 (Sim.Sched.results sched)
+        in
+        if winners > 1 then Alcotest.fail "two winners";
+        if
+          Array.for_all Option.is_some (Sim.Sched.results sched)
+          && winners <> 1
+        then Alcotest.fail "no winner")
+      ()
+  in
+  checkb "explored" true (n > 200)
+
+let test_lean_crash_safety () =
+  for seed = 1 to 150 do
+    let sched =
+      Sim.Sched.create ~seed:(Int64.of_int seed) (rr_programs (lean_make 16) 16 ())
+    in
+    let adv =
+      Sim.Adversary.random_crashes ~seed:(Int64.of_int (seed * 7)) ~crash_prob:0.02
+        (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 3)))
+    in
+    Sim.Sched.run sched adv;
+    let winners =
+      Array.fold_left
+        (fun a r -> if r = Some 1 then a + 1 else a)
+        0 (Sim.Sched.results sched)
+    in
+    checkb "at most one winner" true (winners <= 1)
+  done
+
+let test_lean_backup_rarely_entered () =
+  (* Claim 3.2 (w.h.p. no elimination path overflows): runs in which any
+     process even touches the length-n backup path must be rare. Backup
+     usage is detected from the trace via the ".backup" register names. *)
+  let n = 64 in
+  let trials = 25 in
+  let touched = ref 0 in
+  for seed = 1 to trials do
+    let mem = Sim.Memory.create () in
+    let rr = Ratrace.Ratrace_lean.create mem ~n in
+    let sched =
+      Sim.Sched.create ~seed:(Int64.of_int seed) ~record_trace:true
+        (Array.init n (fun _ ctx ->
+             if Ratrace.Ratrace_lean.elect rr ctx then 1 else 0))
+    in
+    Sim.Sched.run sched
+      (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 3)));
+    let used_backup =
+      List.exists
+        (function
+          | Sim.Op.Step { reg_name; _ } ->
+              (* ".backup" occurs in the name *)
+              let sub = ".backup" in
+              let rec find i =
+                i + String.length sub <= String.length reg_name
+                && (String.sub reg_name i (String.length sub) = sub
+                   || find (i + 1))
+              in
+              find 0
+          | _ -> false)
+        (Sim.Sched.trace sched)
+    in
+    if used_backup then incr touched
+  done;
+  checkb
+    (Printf.sprintf "backup path touched in %d/%d runs (expect few)" !touched
+       trials)
+    true
+    (!touched <= trials / 3)
+
+let test_space_lean_vs_classic () =
+  (* The point of Section 3: Theta(n) vs Theta(n^3). *)
+  let alloc make =
+    let mem = Sim.Memory.create () in
+    ignore (make mem);
+    Sim.Memory.allocated mem
+  in
+  let lean16 = alloc (fun mem -> Ratrace.Ratrace_lean.create mem ~n:16) in
+  let lean64 = alloc (fun mem -> Ratrace.Ratrace_lean.create mem ~n:64) in
+  let classic16 = alloc (fun mem -> Ratrace.Rr_classic.create mem ~n:16) in
+  checkb
+    (Printf.sprintf "classic(16)=%d >> lean(16)=%d" classic16 lean16)
+    true
+    (classic16 > 10 * lean16);
+  (* lean is O(n): quadrupling n should grow space by less than ~8x. *)
+  checkb
+    (Printf.sprintf "lean scales linearly: %d -> %d" lean16 lean64)
+    true
+    (lean64 < 8 * lean16);
+  (* classic is Omega(n^3) from the 2^(3 log n) tree. *)
+  checkb "classic(16) cubic-ish" true (classic16 >= 16 * 16 * 16)
+
+let test_lean_space_linear_bound () =
+  List.iter
+    (fun n ->
+      let mem = Sim.Memory.create () in
+      ignore (Ratrace.Ratrace_lean.create mem ~n);
+      let regs = Sim.Memory.allocated mem in
+      checkb
+        (Printf.sprintf "lean(%d) = %d <= 60n" n regs)
+        true
+        (regs <= 60 * n))
+    [ 4; 16; 64; 256; 1024 ]
+
+let test_lean_step_complexity_logarithmic () =
+  (* Average max steps should grow roughly like log k: compare k=4 vs
+     k=256 — the ratio must stay well below linear. *)
+  let avg k =
+    let total = ref 0 in
+    let trials = 30 in
+    for seed = 1 to trials do
+      let sched =
+        Sim.Sched.create ~seed:(Int64.of_int seed) (rr_programs (lean_make 256) k ())
+      in
+      Sim.Sched.run sched
+        (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 3)));
+      total := !total + Sim.Sched.max_steps sched
+    done;
+    float_of_int !total /. float_of_int trials
+  in
+  let a4 = avg 4 and a256 = avg 256 in
+  checkb
+    (Printf.sprintf "sublinear growth: %.1f -> %.1f" a4 a256)
+    true
+    (a256 < a4 *. 8.0)
+
+let () =
+  Alcotest.run "ratrace"
+    [
+      ( "elim-path",
+        [
+          Alcotest.test_case "solo wins" `Quick test_ep_solo_wins;
+          Alcotest.test_case "claim 3.1" `Quick test_ep_claim_3_1;
+          Alcotest.test_case "exhaustive" `Quick test_ep_exhaustive;
+          Alcotest.test_case "overflow beyond capacity" `Quick test_ep_overflow_possible;
+          Alcotest.test_case "space" `Quick test_ep_space;
+        ] );
+      ( "primary-tree",
+        [
+          Alcotest.test_case "solo wins" `Quick test_tree_solo_wins;
+          Alcotest.test_case "at most one winner" `Quick test_tree_at_most_one_winner;
+          Alcotest.test_case "fell-off leaves valid" `Quick test_tree_fell_off_leaf_valid;
+          Alcotest.test_case "ascend from leaf" `Quick test_tree_ascend_from_leaf_solo;
+          Alcotest.test_case "space" `Quick test_tree_space;
+        ] );
+      ( "backup-grid",
+        [
+          Alcotest.test_case "solo wins" `Quick test_grid_solo_wins;
+          Alcotest.test_case "exactly one winner" `Quick test_grid_one_winner;
+          Alcotest.test_case "nobody leaves" `Quick test_grid_nobody_leaves;
+        ] );
+      ( "ratrace",
+        [
+          Alcotest.test_case "classic: one winner" `Quick test_classic_one_winner;
+          Alcotest.test_case "classic: solo" `Quick test_classic_solo;
+          Alcotest.test_case "classic: exhaustive n=2" `Quick test_classic_exhaustive_2;
+          Alcotest.test_case "lean: one winner" `Quick test_lean_one_winner;
+          Alcotest.test_case "lean: solo" `Quick test_lean_solo;
+          Alcotest.test_case "lean: exhaustive n=2" `Quick test_lean_exhaustive_2;
+          Alcotest.test_case "lean: crash safety" `Quick test_lean_crash_safety;
+          Alcotest.test_case "lean: backup rarely entered (claim 3.2)" `Quick
+            test_lean_backup_rarely_entered;
+          Alcotest.test_case "space: lean vs classic" `Quick test_space_lean_vs_classic;
+          Alcotest.test_case "space: lean is O(n)" `Quick test_lean_space_linear_bound;
+          Alcotest.test_case "steps: lean is O(log k)" `Quick
+            test_lean_step_complexity_logarithmic;
+        ] );
+    ]

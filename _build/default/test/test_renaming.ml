@@ -1,0 +1,148 @@
+(* Tests for the renaming applications (TAS line and Moir-Anderson
+   splitter grid). *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let line_programs ?(names = 16) ~k () =
+  let mem = Sim.Memory.create () in
+  let line =
+    Renaming.Tas_line.create mem ~names ~make_le:Leaderelect.Le_logstar.make
+      ~n:names
+  in
+  Array.init k (fun _ ctx -> Renaming.Tas_line.acquire line ctx)
+
+let test_line_distinct_names () =
+  List.iter
+    (fun k ->
+      for seed = 1 to 50 do
+        let sched =
+          Sim.Sched.create ~seed:(Int64.of_int seed) (line_programs ~k ())
+        in
+        Sim.Sched.run sched
+          (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 3)));
+        let names = Array.map Option.get (Sim.Sched.results sched) in
+        checki "all distinct" k
+          (List.length (List.sort_uniq compare (Array.to_list names)))
+      done)
+    [ 1; 2; 5; 10; 16 ]
+
+let test_line_tight_namespace () =
+  (* k participants acquire names within {0..k-1}. *)
+  List.iter
+    (fun k ->
+      for seed = 1 to 50 do
+        let sched =
+          Sim.Sched.create ~seed:(Int64.of_int seed) (line_programs ~k ())
+        in
+        Sim.Sched.run sched
+          (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 7)));
+        Array.iter
+          (fun r ->
+            let name = Option.get r in
+            checkb "name < k" true (name >= 0 && name < k))
+          (Sim.Sched.results sched)
+      done)
+    [ 1; 3; 8 ]
+
+let test_line_exhausted () =
+  (* More participants than names must raise. *)
+  let raised = ref false in
+  (try
+     let sched = Sim.Sched.create (line_programs ~names:2 ~k:3 ()) in
+     Sim.Sched.run sched (Sim.Adversary.round_robin ())
+   with Failure _ -> raised := true);
+  checkb "namespace exhaustion detected" true !raised
+
+let grid_programs ~cap ~k () =
+  let mem = Sim.Memory.create () in
+  let grid = Renaming.Splitter_grid.create mem ~k:cap in
+  Array.init k (fun _ ctx -> Renaming.Splitter_grid.acquire grid ctx)
+
+let test_grid_distinct_names () =
+  List.iter
+    (fun k ->
+      for seed = 1 to 100 do
+        let sched =
+          Sim.Sched.create ~seed:(Int64.of_int seed) (grid_programs ~cap:k ~k ())
+        in
+        Sim.Sched.run sched
+          (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 3)));
+        let names = Array.map Option.get (Sim.Sched.results sched) in
+        checki "all distinct" k
+          (List.length (List.sort_uniq compare (Array.to_list names)))
+      done)
+    [ 1; 2; 4; 8 ]
+
+let test_grid_namespace_bound () =
+  (* Names fall within k(k+1)/2 (contention k = capacity). *)
+  List.iter
+    (fun k ->
+      for seed = 1 to 50 do
+        let sched =
+          Sim.Sched.create ~seed:(Int64.of_int seed) (grid_programs ~cap:k ~k ())
+        in
+        Sim.Sched.run sched
+          (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 5)));
+        Array.iter
+          (fun r ->
+            let name = Option.get r in
+            checkb "within triangle" true (name >= 0 && name < k * (k + 1) / 2))
+          (Sim.Sched.results sched)
+      done)
+    [ 2; 4; 8 ]
+
+let test_grid_adaptive_namespace () =
+  (* With contention k' < capacity, names stay within the first
+     k'(k'+1)/2 — the diagonal numbering makes the grid adaptive. *)
+  let cap = 16 in
+  List.iter
+    (fun k' ->
+      for seed = 1 to 50 do
+        let sched =
+          Sim.Sched.create ~seed:(Int64.of_int seed)
+            (grid_programs ~cap ~k:k' ())
+        in
+        Sim.Sched.run sched
+          (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 11)));
+        Array.iter
+          (fun r ->
+            let name = Option.get r in
+            checkb
+              (Printf.sprintf "k'=%d: name %d < %d" k' name (k' * (k' + 1) / 2))
+              true
+              (name < k' * (k' + 1) / 2))
+          (Sim.Sched.results sched)
+      done)
+    [ 1; 2; 4 ]
+
+let test_grid_solo_gets_zero () =
+  let sched = Sim.Sched.create (grid_programs ~cap:8 ~k:1 ()) in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  checki "solo gets name 0" 0 (Option.get (Sim.Sched.result sched 0))
+
+let test_grid_space_quadratic () =
+  let mem = Sim.Memory.create () in
+  let _ = Renaming.Splitter_grid.create mem ~k:8 in
+  (* 36 splitters x 2 registers *)
+  checki "registers" 72 (Sim.Memory.allocated mem)
+
+let () =
+  Alcotest.run "renaming"
+    [
+      ( "tas-line",
+        [
+          Alcotest.test_case "distinct names" `Quick test_line_distinct_names;
+          Alcotest.test_case "tight namespace" `Quick test_line_tight_namespace;
+          Alcotest.test_case "exhaustion" `Quick test_line_exhausted;
+        ] );
+      ( "splitter-grid",
+        [
+          Alcotest.test_case "distinct names" `Quick test_grid_distinct_names;
+          Alcotest.test_case "namespace k(k+1)/2" `Quick test_grid_namespace_bound;
+          Alcotest.test_case "adaptive namespace" `Quick
+            test_grid_adaptive_namespace;
+          Alcotest.test_case "solo name 0" `Quick test_grid_solo_gets_zero;
+          Alcotest.test_case "space quadratic" `Quick test_grid_space_quadratic;
+        ] );
+    ]

@@ -1,0 +1,586 @@
+(* Tests for the shared-memory simulator substrate. *)
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* {1 Rng} *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 42L and b = Sim.Rng.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Sim.Rng.next a) (Sim.Rng.next b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Sim.Rng.create 1L and b = Sim.Rng.create 2L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Sim.Rng.next a <> Sim.Rng.next b then differs := true
+  done;
+  checkb "streams differ" true !differs
+
+let test_rng_int_bounds () =
+  let r = Sim.Rng.create 7L in
+  for bound = 1 to 50 do
+    for _ = 1 to 100 do
+      let v = Sim.Rng.int r bound in
+      checkb "in range" true (v >= 0 && v < bound)
+    done
+  done
+
+let test_rng_int_invalid () =
+  let r = Sim.Rng.create 7L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sim.Rng.int r 0))
+
+let test_rng_copy_independent () =
+  let a = Sim.Rng.create 9L in
+  ignore (Sim.Rng.next a);
+  let b = Sim.Rng.copy a in
+  let va = Sim.Rng.next a in
+  let vb = Sim.Rng.next b in
+  check Alcotest.int64 "copy continues identically" va vb;
+  ignore (Sim.Rng.next a);
+  (* advancing [a] further must not touch [b] *)
+  let va2 = Sim.Rng.next a and vb2 = Sim.Rng.next b in
+  checkb "then they diverge in position" true (va2 <> vb2 || va2 = vb2)
+
+let test_rng_float_range () =
+  let r = Sim.Rng.create 11L in
+  for _ = 1 to 1000 do
+    let f = Sim.Rng.float r in
+    checkb "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_bool_balanced () =
+  let r = Sim.Rng.create 13L in
+  let trues = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Sim.Rng.bool r then incr trues
+  done;
+  checkb "roughly balanced" true (abs (!trues - (n / 2)) < n / 10)
+
+let test_rng_geometric_support () =
+  let r = Sim.Rng.create 17L in
+  for _ = 1 to 2000 do
+    let v = Sim.Rng.geometric_capped r 8 in
+    checkb "support" true (v >= 1 && v <= 8)
+  done
+
+let test_rng_geometric_distribution () =
+  (* Pr(x = 1) = 1/2; mean is < 2. *)
+  let r = Sim.Rng.create 19L in
+  let n = 20_000 in
+  let ones = ref 0 and sum = ref 0 in
+  for _ = 1 to n do
+    let v = Sim.Rng.geometric_capped r 20 in
+    if v = 1 then incr ones;
+    sum := !sum + v
+  done;
+  let p1 = float_of_int !ones /. float_of_int n in
+  checkb "Pr(x=1) ~ 0.5" true (abs_float (p1 -. 0.5) < 0.02);
+  let mean = float_of_int !sum /. float_of_int n in
+  checkb "mean ~ 2" true (abs_float (mean -. 2.0) < 0.1)
+
+let test_rng_geometric_cap () =
+  let r = Sim.Rng.create 21L in
+  for _ = 1 to 100 do
+    checki "l=1 always 1" 1 (Sim.Rng.geometric_capped r 1)
+  done
+
+(* {1 Memory and registers} *)
+
+let test_memory_counts () =
+  let mem = Sim.Memory.create () in
+  checki "empty" 0 (Sim.Memory.allocated mem);
+  let _r1 = Sim.Register.create mem in
+  let _r2 = Sim.Register.create mem in
+  checki "two" 2 (Sim.Memory.allocated mem)
+
+let test_register_initial () =
+  let mem = Sim.Memory.create () in
+  let r = Sim.Register.create mem in
+  checki "initial value" 0 (Sim.Register.read r);
+  checki "no writer" (-1) r.Sim.Register.last_writer
+
+let test_register_write () =
+  let mem = Sim.Memory.create () in
+  let r = Sim.Register.create mem in
+  Sim.Register.write r ~writer:3 42;
+  checki "value" 42 (Sim.Register.read r);
+  checki "writer" 3 r.Sim.Register.last_writer
+
+let test_register_ids_unique () =
+  let mem = Sim.Memory.create () in
+  let rs = List.init 10 (fun _ -> Sim.Register.create mem) in
+  let ids = List.map (fun (r : Sim.Register.t) -> r.Sim.Register.id) rs in
+  checki "all distinct" 10 (List.length (List.sort_uniq compare ids))
+
+(* {1 Scheduler} *)
+
+(* A tiny program: read a register, add own pid, write it back, return
+   the value read. *)
+let incr_prog reg ctx =
+  let v = Sim.Ctx.read ctx reg in
+  Sim.Ctx.write ctx reg (v + Sim.Ctx.pid ctx + 1);
+  v
+
+let test_sched_round_robin () =
+  let mem = Sim.Memory.create () in
+  let reg = Sim.Register.create mem in
+  let sched = Sim.Sched.create (Array.init 3 (fun _ -> incr_prog reg)) in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  (* Round-robin interleaves all three reads before any write, so every
+     process writes [0 + pid + 1] and the last writer is p2. *)
+  checki "last write wins" 3 (Sim.Register.read reg);
+  for pid = 0 to 2 do
+    checki "each took 2 steps" 2 (Sim.Sched.steps sched pid)
+  done;
+  checki "total time" 6 (Sim.Sched.time sched)
+
+let test_sched_sequential_results () =
+  (* Under round-robin p0 reads first (sees 0), all three read before any
+     write completes... round-robin order: p0 read, p1 read, p2 read, p0
+     write, p1 write, p2 write: all read 0. *)
+  let mem = Sim.Memory.create () in
+  let reg = Sim.Register.create mem in
+  let sched = Sim.Sched.create (Array.init 3 (fun _ -> incr_prog reg)) in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  Array.iter
+    (fun r -> checki "read 0" 0 (Option.get r))
+    (Sim.Sched.results sched)
+
+let test_sched_fixed_schedule () =
+  (* Run p0 fully first, then p1: p1 must observe p0's write. *)
+  let mem = Sim.Memory.create () in
+  let reg = Sim.Register.create mem in
+  let sched = Sim.Sched.create (Array.init 2 (fun _ -> incr_prog reg)) in
+  Sim.Sched.run sched (Sim.Adversary.fixed_schedule [| 0; 0; 1; 1 |]);
+  checki "p0 saw 0" 0 (Option.get (Sim.Sched.result sched 0));
+  checki "p1 saw p0's write" 1 (Option.get (Sim.Sched.result sched 1))
+
+let test_sched_fixed_schedule_halts () =
+  let mem = Sim.Memory.create () in
+  let reg = Sim.Register.create mem in
+  let sched = Sim.Sched.create (Array.init 2 (fun _ -> incr_prog reg)) in
+  Sim.Sched.run sched (Sim.Adversary.fixed_schedule [| 0; 0 |]);
+  checkb "p0 finished" true (Sim.Sched.result sched 0 <> None);
+  checkb "p1 crashed" true (Sim.Sched.status sched 1 = Sim.Sched.Crashed)
+
+let test_sched_crash () =
+  let mem = Sim.Memory.create () in
+  let reg = Sim.Register.create mem in
+  let sched = Sim.Sched.create (Array.init 2 (fun _ -> incr_prog reg)) in
+  Sim.Sched.crash sched 0;
+  checkb "crashed" true (Sim.Sched.status sched 0 = Sim.Sched.Crashed);
+  Alcotest.check_raises "cannot step crashed"
+    (Invalid_argument "Sched.step: process is not running") (fun () ->
+      Sim.Sched.step sched 0);
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  checki "p1 unaffected, saw 0" 0 (Option.get (Sim.Sched.result sched 1))
+
+let test_sched_pending_before_step () =
+  let mem = Sim.Memory.create () in
+  let reg = Sim.Register.create mem in
+  let sched = Sim.Sched.create [| incr_prog reg |] in
+  (match Sim.Sched.pending sched 0 with
+  | Some { Sim.Op.kind = Sim.Op.Read; reg = r } ->
+      checki "poised at the register" reg.Sim.Register.id r.Sim.Register.id
+  | _ -> Alcotest.fail "expected pending read");
+  Sim.Sched.step sched 0;
+  (match Sim.Sched.pending sched 0 with
+  | Some { Sim.Op.kind = Sim.Op.Write v; _ } -> checki "pending write value" 1 v
+  | _ -> Alcotest.fail "expected pending write")
+
+let test_view_filtering () =
+  let mem = Sim.Memory.create () in
+  let reg = Sim.Register.create ~name:"secret" mem in
+  let prog ctx = Sim.Ctx.write ctx reg 7; 0 in
+  let sched = Sim.Sched.create [| prog |] in
+  let open Sim.Sched in
+  let v_adaptive = (view sched Adaptive).pending_of 0 in
+  checkb "adaptive sees kind" true (v_adaptive.view_kind = Some `Write);
+  checkb "adaptive sees reg" true (v_adaptive.view_reg <> None);
+  checkb "adaptive sees value" true (v_adaptive.view_value = Some 7);
+  let v_loc = (view sched Location_oblivious).pending_of 0 in
+  checkb "loc-obl sees kind" true (v_loc.view_kind = Some `Write);
+  checkb "loc-obl hides reg" true (v_loc.view_reg = None);
+  checkb "loc-obl sees value" true (v_loc.view_value = Some 7);
+  let v_rw = (view sched Rw_oblivious).pending_of 0 in
+  checkb "rw-obl hides kind" true (v_rw.view_kind = None);
+  checkb "rw-obl sees reg" true (v_rw.view_reg <> None);
+  checkb "rw-obl hides value" true (v_rw.view_value = None);
+  let v_obl = (view sched Oblivious).pending_of 0 in
+  checkb "oblivious hides all" true
+    (v_obl.view_kind = None && v_obl.view_reg = None && v_obl.view_value = None)
+
+let test_trace_recording () =
+  let mem = Sim.Memory.create () in
+  let reg = Sim.Register.create mem in
+  let sched = Sim.Sched.create ~record_trace:true [| incr_prog reg |] in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  let events = Sim.Sched.trace sched in
+  let steps =
+    List.filter (function Sim.Op.Step _ -> true | _ -> false) events
+  in
+  checki "two steps traced" 2 (List.length steps);
+  let finishes =
+    List.filter (function Sim.Op.Finish _ -> true | _ -> false) events
+  in
+  checki "one finish" 1 (List.length finishes)
+
+let test_trace_off_by_default () =
+  let mem = Sim.Memory.create () in
+  let reg = Sim.Register.create mem in
+  let sched = Sim.Sched.create [| incr_prog reg |] in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  checki "no trace" 0 (List.length (Sim.Sched.trace sched))
+
+let test_flips_recorded () =
+  let prog ctx = Sim.Ctx.flip ctx 2 + Sim.Ctx.flip ctx 2 in
+  let sched = Sim.Sched.create ~record_trace:true [| prog |] in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  checki "two flips counted" 2 (Sim.Sched.flips sched 0);
+  checki "no shared steps" 0 (Sim.Sched.steps sched 0)
+
+let test_flip_oracle () =
+  let prog ctx = Sim.Ctx.flip ctx 10 in
+  let oracle ~pid:_ ~bound:_ = Some 7 in
+  let sched = Sim.Sched.create ~flip_oracle:oracle [| prog |] in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  checki "oracle controls flip" 7 (Option.get (Sim.Sched.result sched 0))
+
+let test_first_and_finish_times () =
+  let mem = Sim.Memory.create () in
+  let reg = Sim.Register.create mem in
+  let sched = Sim.Sched.create (Array.init 2 (fun _ -> incr_prog reg)) in
+  Sim.Sched.run sched (Sim.Adversary.fixed_schedule ~then_halt:false [| 1; 1; 0; 0 |]);
+  checki "p1 started first" 1 (Sim.Sched.first_step_time sched 1);
+  checki "p1 finished at 2" 2 (Sim.Sched.finish_time sched 1);
+  checki "p0 started at 3" 3 (Sim.Sched.first_step_time sched 0)
+
+let test_with_crashes () =
+  let mem = Sim.Memory.create () in
+  let reg = Sim.Register.create mem in
+  let sched = Sim.Sched.create (Array.init 2 (fun _ -> incr_prog reg)) in
+  let adv = Sim.Adversary.with_crashes [ (0, 1) ] (Sim.Adversary.round_robin ()) in
+  Sim.Sched.run sched adv;
+  checkb "p0 crashed after 1 step" true (Sim.Sched.status sched 0 = Sim.Sched.Crashed);
+  checki "p0 took exactly 1 step" 1 (Sim.Sched.steps sched 0);
+  checkb "p1 finished" true (Sim.Sched.result sched 1 <> None)
+
+let test_max_total_steps () =
+  let mem = Sim.Memory.create () in
+  let reg = Sim.Register.create mem in
+  let rec spin ctx = ignore (Sim.Ctx.read ctx reg); spin ctx in
+  let sched = Sim.Sched.create [| spin |] in
+  checkb "livelock detected" true
+    (try
+       Sim.Sched.run ~max_total_steps:100 sched (Sim.Adversary.round_robin ());
+       false
+     with Failure _ -> true)
+
+(* {1 RMR accounting (cache-coherent model)} *)
+
+let test_rmr_cached_reads_free () =
+  let mem = Sim.Memory.create () in
+  let r = Sim.Register.create mem in
+  let prog ctx =
+    ignore (Sim.Ctx.read ctx r);
+    ignore (Sim.Ctx.read ctx r);
+    ignore (Sim.Ctx.read ctx r);
+    0
+  in
+  let sched = Sim.Sched.create [| prog |] in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  checki "three steps" 3 (Sim.Sched.steps sched 0);
+  checki "one RMR: later reads hit the cache" 1 (Sim.Sched.rmrs sched 0)
+
+let test_rmr_write_invalidates () =
+  (* p0 reads (cache), p1 writes (invalidate), p0 reads again: 2 RMRs. *)
+  let mem = Sim.Memory.create () in
+  let r = Sim.Register.create mem in
+  let progs =
+    [|
+      (fun ctx ->
+        ignore (Sim.Ctx.read ctx r);
+        ignore (Sim.Ctx.read ctx r);
+        0);
+      (fun ctx -> Sim.Ctx.write ctx r 7; 0);
+    |]
+  in
+  let sched = Sim.Sched.create progs in
+  Sim.Sched.run sched (Sim.Adversary.fixed_schedule ~then_halt:false [| 0; 1; 0 |]);
+  checki "p0: both reads remote" 2 (Sim.Sched.rmrs sched 0);
+  checki "p1: one write RMR" 1 (Sim.Sched.rmrs sched 1)
+
+let test_rmr_writes_always_count () =
+  let mem = Sim.Memory.create () in
+  let r = Sim.Register.create mem in
+  let prog ctx =
+    Sim.Ctx.write ctx r 1;
+    Sim.Ctx.write ctx r 2;
+    ignore (Sim.Ctx.read ctx r);
+    0
+  in
+  let sched = Sim.Sched.create [| prog |] in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  (* Two writes are RMRs; the read hits the writer's own cached copy. *)
+  checki "two RMRs" 2 (Sim.Sched.rmrs sched 0)
+
+let test_rmr_max () =
+  let mem = Sim.Memory.create () in
+  let r = Sim.Register.create mem in
+  let progs =
+    Array.init 3 (fun i ctx ->
+        for _ = 0 to i do
+          Sim.Ctx.write ctx r i
+        done;
+        0)
+  in
+  let sched = Sim.Sched.create progs in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  checki "max over processes" 3 (Sim.Sched.max_rmrs sched)
+
+(* {1 Visibility (Section 5 relations)} *)
+
+let visibility_trace () =
+  (* p0 writes r0; p1 reads r0 (sees p0); p2 reads a fresh register
+     (sees nobody). *)
+  let mem = Sim.Memory.create () in
+  let r0 = Sim.Register.create mem and r1 = Sim.Register.create mem in
+  let progs =
+    [|
+      (fun ctx -> Sim.Ctx.write ctx r0 5; 0);
+      (fun ctx -> Sim.Ctx.read ctx r0);
+      (fun ctx -> Sim.Ctx.read ctx r1);
+    |]
+  in
+  let sched = Sim.Sched.create ~record_trace:true progs in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  Sim.Sched.trace sched
+
+let test_visibility_sees () =
+  let trace = visibility_trace () in
+  Alcotest.(check (list (pair int int)))
+    "p1 sees p0 only" [ (1, 0) ] (Sim.Visibility.sees trace)
+
+let test_visibility_groups () =
+  let trace = visibility_trace () in
+  let reps = Sim.Visibility.groups ~n:3 trace in
+  checki "p0 and p1 grouped" reps.(0) reps.(1);
+  checkb "p2 alone" true (reps.(2) <> reps.(0));
+  checki "two groups" 2 (Sim.Visibility.group_count ~n:3 trace)
+
+let test_visibility_saw_nobody () =
+  let trace = visibility_trace () in
+  Alcotest.(check (list int))
+    "only p0 and p2 saw nobody" [ 0; 2 ]
+    (Sim.Visibility.saw_nobody ~n:3 trace)
+
+let test_visibility_empty_trace () =
+  checki "n singletons" 4 (Sim.Visibility.group_count ~n:4 []);
+  Alcotest.(check (list int))
+    "all saw nobody" [ 0; 1; 2; 3 ]
+    (Sim.Visibility.saw_nobody ~n:4 [])
+
+let test_visibility_own_writes_invisible () =
+  (* Reading your own write does not make you "see" anyone. *)
+  let mem = Sim.Memory.create () in
+  let r = Sim.Register.create mem in
+  let prog ctx =
+    Sim.Ctx.write ctx r 1;
+    Sim.Ctx.read ctx r
+  in
+  let sched = Sim.Sched.create ~record_trace:true [| prog |] in
+  Sim.Sched.run sched (Sim.Adversary.round_robin ());
+  Alcotest.(check (list (pair int int)))
+    "no sightings" []
+    (Sim.Visibility.sees (Sim.Sched.trace sched))
+
+(* {1 Explorer} *)
+
+let test_explore_counts () =
+  (* One process, one flip with bound 2, depth 2: the root run plus one
+     run per flip outcome (the flip is the only choice point besides the
+     single-choice scheduling points). *)
+  let programs () = [| (fun ctx -> Sim.Ctx.flip ctx 2) |] in
+  let seen = ref [] in
+  let n =
+    Sim.Explore.explore ~depth:4 ~programs
+      ~check:(fun sched ->
+        seen := Option.get (Sim.Sched.result sched 0) :: !seen)
+      ()
+  in
+  checkb "explored several paths" true (n >= 3);
+  checkb "both outcomes seen" true
+    (List.mem 0 !seen && List.mem 1 !seen)
+
+let test_explore_schedules () =
+  (* Two processes racing to write: exploration must produce executions
+     where each wins the race. *)
+  let outcomes = ref [] in
+  let programs () =
+    let mem = Sim.Memory.create () in
+    let reg = Sim.Register.create mem in
+    Array.init 2 (fun _ ctx ->
+        let v = Sim.Ctx.read ctx reg in
+        if v = 0 then Sim.Ctx.write ctx reg (Sim.Ctx.pid ctx + 1);
+        v)
+  in
+  let _ =
+    Sim.Explore.explore ~depth:6 ~programs
+      ~check:(fun sched ->
+        outcomes :=
+          (Option.get (Sim.Sched.result sched 0),
+           Option.get (Sim.Sched.result sched 1))
+          :: !outcomes)
+      ()
+  in
+  checkb "p1 sometimes sees p0's write" true (List.exists (fun (_, b) -> b > 0) !outcomes);
+  checkb "p0 sometimes sees p1's write" true (List.exists (fun (a, _) -> a > 0) !outcomes);
+  checkb "sometimes neither sees" true (List.mem (0, 0) !outcomes)
+
+(* A deliberately unsafe 2-process duel (the pre-fix Le2 with win
+   threshold -2): the checker must find and shrink a two-winner
+   execution. *)
+let buggy_duel_programs () =
+  let mem = Sim.Memory.create () in
+  let a = Sim.Register.create mem and b = Sim.Register.create mem in
+  Array.init 2 (fun port ctx ->
+      let mine, other = if port = 0 then (a, b) else (b, a) in
+      let rec loop pos =
+        let o = Sim.Ctx.read ctx other in
+        if o >= pos + 2 then 0
+        else if o <= pos - 2 then 1
+        else begin
+          let pos' = pos + (if Sim.Ctx.flip_bool ctx then 1 else 0) in
+          if pos' > pos then Sim.Ctx.write ctx mine pos';
+          loop pos'
+        end
+      in
+      loop 0)
+
+let two_winner_check sched =
+  let winners =
+    Array.fold_left
+      (fun a r -> if r = Some 1 then a + 1 else a)
+      0 (Sim.Sched.results sched)
+  in
+  if winners > 1 then failwith "two winners"
+
+let test_find_violation_on_buggy_protocol () =
+  match
+    Sim.Explore.find_violation ~depth:12 ~programs:buggy_duel_programs
+      ~check:two_winner_check ()
+  with
+  | None -> Alcotest.fail "expected to find the two-winner violation"
+  | Some v ->
+      checkb "message mentions the failure" true
+        (let m = v.Sim.Explore.message in
+         String.length m > 0);
+      checkb "found within bounded executions" true (v.Sim.Explore.executions > 0);
+      (* The shrunk path must still reproduce the violation via replay. *)
+      let sched =
+        Sim.Explore.replay ~path:v.Sim.Explore.path
+          ~programs:buggy_duel_programs ()
+      in
+      checkb "replay reproduces" true
+        (try
+           two_winner_check sched;
+           false
+         with Failure _ -> true)
+
+let test_find_violation_none_on_correct_protocol () =
+  (* The fixed duel (thresholds -3/+2) admits no violation in the same
+     bounded space. *)
+  let fixed () =
+    let mem = Sim.Memory.create () in
+    let a = Sim.Register.create mem and b = Sim.Register.create mem in
+    Array.init 2 (fun port ctx ->
+        let mine, other = if port = 0 then (a, b) else (b, a) in
+        let rec loop pos =
+          let o = Sim.Ctx.read ctx other in
+          if o >= pos + 2 then 0
+          else if o <= pos - 3 then 1
+          else begin
+            let pos' = pos + (if Sim.Ctx.flip_bool ctx then 1 else 0) in
+            if pos' > pos then Sim.Ctx.write ctx mine pos';
+            loop pos'
+          end
+        in
+        loop 0)
+  in
+  checkb "no violation found" true
+    (Sim.Explore.find_violation ~depth:12 ~programs:fixed
+       ~check:two_winner_check ()
+    = None)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "bool balanced" `Quick test_rng_bool_balanced;
+          Alcotest.test_case "geometric support" `Quick test_rng_geometric_support;
+          Alcotest.test_case "geometric distribution" `Quick test_rng_geometric_distribution;
+          Alcotest.test_case "geometric cap" `Quick test_rng_geometric_cap;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "counts" `Quick test_memory_counts;
+          Alcotest.test_case "register initial" `Quick test_register_initial;
+          Alcotest.test_case "register write" `Quick test_register_write;
+          Alcotest.test_case "ids unique" `Quick test_register_ids_unique;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "round robin" `Quick test_sched_round_robin;
+          Alcotest.test_case "reads before writes" `Quick test_sched_sequential_results;
+          Alcotest.test_case "fixed schedule" `Quick test_sched_fixed_schedule;
+          Alcotest.test_case "fixed schedule halts" `Quick test_sched_fixed_schedule_halts;
+          Alcotest.test_case "crash" `Quick test_sched_crash;
+          Alcotest.test_case "pending ops" `Quick test_sched_pending_before_step;
+          Alcotest.test_case "view filtering" `Quick test_view_filtering;
+          Alcotest.test_case "trace recording" `Quick test_trace_recording;
+          Alcotest.test_case "trace off by default" `Quick test_trace_off_by_default;
+          Alcotest.test_case "flips recorded" `Quick test_flips_recorded;
+          Alcotest.test_case "flip oracle" `Quick test_flip_oracle;
+          Alcotest.test_case "first/finish times" `Quick test_first_and_finish_times;
+          Alcotest.test_case "crash injection" `Quick test_with_crashes;
+          Alcotest.test_case "livelock guard" `Quick test_max_total_steps;
+        ] );
+      ( "rmr",
+        [
+          Alcotest.test_case "cached reads free" `Quick test_rmr_cached_reads_free;
+          Alcotest.test_case "write invalidates" `Quick test_rmr_write_invalidates;
+          Alcotest.test_case "writes always count" `Quick test_rmr_writes_always_count;
+          Alcotest.test_case "max over processes" `Quick test_rmr_max;
+        ] );
+      ( "visibility",
+        [
+          Alcotest.test_case "sees" `Quick test_visibility_sees;
+          Alcotest.test_case "groups" `Quick test_visibility_groups;
+          Alcotest.test_case "saw nobody" `Quick test_visibility_saw_nobody;
+          Alcotest.test_case "empty trace" `Quick test_visibility_empty_trace;
+          Alcotest.test_case "own writes invisible" `Quick
+            test_visibility_own_writes_invisible;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "flip branching" `Quick test_explore_counts;
+          Alcotest.test_case "schedule branching" `Quick test_explore_schedules;
+          Alcotest.test_case "find violation + shrink" `Quick
+            test_find_violation_on_buggy_protocol;
+          Alcotest.test_case "no false positives" `Quick
+            test_find_violation_none_on_correct_protocol;
+        ] );
+    ]

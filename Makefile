@@ -1,0 +1,22 @@
+.PHONY: all check test build chaos-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test: check
+
+# Tier-1 gate: everything compiles and the whole suite passes.
+check:
+	dune build && dune runtest
+
+# Fast chaos smoke: small system, few trials, fixed seed, both the
+# simulated sweep and the real-multicore implementations. Exits
+# non-zero on any safety violation.
+chaos-smoke:
+	dune exec bin/rtas_cli.exe -- chaos -n 16 -k 6 --trials 5 \
+	  --probs 0,0.05,0.2 --seed 42 --mc
+
+clean:
+	dune clean

@@ -165,10 +165,131 @@ let yao_cmd =
     (Cmd.info "yao" ~doc:"Reproduce the Theorem 6.1 two-process lower bound.")
     Term.(const yao $ t_arg $ trials_arg)
 
+let chaos_cmd =
+  let algorithms_arg =
+    let doc = "Comma-separated simulated algorithms to sweep." in
+    Arg.(
+      value
+      & opt (list string) [ "log*"; "loglog"; "tournament"; "ratrace-lean" ]
+      & info [ "algorithms" ] ~docv:"NAMES" ~doc)
+  in
+  let probs_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.0; 0.05; 0.2 ]
+      & info [ "probs" ] ~docv:"P,.." ~doc:"Crash probabilities to sweep.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "trials" ] ~docv:"T"
+          ~doc:"Trials per (implementation, probability) point.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECS" ~doc:"Watchdog per-trial timeout.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"R"
+          ~doc:"Watchdog retries (with rotated seeds) per trial.")
+  in
+  let le_flag =
+    Arg.(
+      value & flag
+      & info [ "le" ] ~doc:"Check leader election instead of test-and-set.")
+  in
+  let mc_flag =
+    Arg.(
+      value & flag
+      & info [ "mc" ]
+          ~doc:
+            "Also stress the real-multicore TAS implementations \
+             (crash-before-invoke fault model on true domains).")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Explicit fault plan replacing the default crash storm, e.g. \
+             $(b,crash:0@3,storm:0.05,halt@400). Only applies to the \
+             simulated sweep.")
+  in
+  let chaos algorithms n k seed probs trials timeout retries le mc plan_str =
+    let plan =
+      match plan_str with
+      | None -> None
+      | Some s -> (
+          match Fault.Plan.of_string s with
+          | Ok p -> Some p
+          | Error msg ->
+              Fmt.epr "rtas chaos: %s@." msg;
+              exit 2)
+    in
+    let mode = if le then Fault.Chaos.Le else Fault.Chaos.Tas in
+    let seed64 = Int64.of_int seed in
+    Fmt.pr "%-14s %-4s %6s %7s %8s %8s %9s %10s@." "impl" "mode" "prob"
+      "trials" "crashes" "timeouts" "viols" "steps";
+    let failures = ref [] in
+    let note impl seeds violations timeouts =
+      if violations > 0 || timeouts > 0 then
+        failures := (impl, seeds) :: !failures
+    in
+    List.iter
+      (fun algorithm ->
+        List.iter
+          (fun crash_prob ->
+            let r =
+              Fault.Chaos.run_point ~timeout ~retries ?plan ~mode ~algorithm
+                ~n ~k ~crash_prob ~trials ~seed:seed64 ()
+            in
+            Fmt.pr "%a@." Fault.Chaos.pp_report r;
+            note r.Fault.Chaos.impl r.Fault.Chaos.failure_seeds
+              r.Fault.Chaos.violations r.Fault.Chaos.timeouts)
+          probs)
+      algorithms;
+    if mc then
+      List.iter
+        (fun impl ->
+          List.iter
+            (fun crash_prob ->
+              let r =
+                Fault.Mc_chaos.run_point ~timeout:(Float.max timeout 10.0)
+                  ~retries ~impl ~k ~crash_prob ~trials ~seed:seed64 ()
+              in
+              Fmt.pr "%a@." Fault.Mc_chaos.pp_report r;
+              note r.Fault.Mc_chaos.impl r.Fault.Mc_chaos.failure_seeds
+                r.Fault.Mc_chaos.violations r.Fault.Mc_chaos.timeouts)
+            probs)
+        (Fault.Mc_chaos.impl_names ());
+    match List.rev !failures with
+    | [] -> Fmt.pr "chaos: no safety violations (seed %d).@." seed
+    | failures ->
+        List.iter
+          (fun (impl, seeds) ->
+            Fmt.pr "FAIL %s: reproduce with seeds [%a]@." impl
+              Fmt.(list ~sep:semi int64)
+              seeds)
+          failures;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Crash-fault chaos sweep: run every implementation under crash \
+          storms and check unique-winner + crash-aware linearizability.")
+    Term.(
+      const chaos $ algorithms_arg $ n_arg $ k_arg $ seed_arg $ probs_arg
+      $ trials_arg $ timeout_arg $ retries_arg $ le_flag $ mc_flag $ plan_arg)
+
 let main =
   Cmd.group
     (Cmd.info "rtas" ~version:"1.0.0"
        ~doc:"Randomized test-and-set (Giakkoupis-Woelfel PODC 2012) playground.")
-    [ run_cmd; list_cmd; sweep_cmd; covering_cmd; yao_cmd ]
+    [ run_cmd; list_cmd; sweep_cmd; covering_cmd; yao_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

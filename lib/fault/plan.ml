@@ -1,0 +1,197 @@
+type action =
+  | Crash_after of { pid : int; steps : int }
+  | Crash_at of { pid : int; time : int }
+  | Storm of { prob : float; max_crashes : int option }
+  | Stall of { pid : int; from_time : int; until_time : int }
+  | Halt_at of { time : int }
+
+type t = action list
+
+let crash_after ~pid ~steps = Crash_after { pid; steps }
+let crash_at ~pid ~time = Crash_at { pid; time }
+let storm ?max_crashes prob = Storm { prob; max_crashes }
+let stall ~pid ~from_time ~until_time = Stall { pid; from_time; until_time }
+let halt_at time = Halt_at { time }
+
+let pp_action ppf = function
+  | Crash_after { pid; steps } -> Fmt.pf ppf "crash:%d@%d" pid steps
+  | Crash_at { pid; time } -> Fmt.pf ppf "crashat:%d@%d" pid time
+  | Storm { prob; max_crashes = None } -> Fmt.pf ppf "storm:%g" prob
+  | Storm { prob; max_crashes = Some m } -> Fmt.pf ppf "storm:%g@%d" prob m
+  | Stall { pid; from_time; until_time } ->
+      Fmt.pf ppf "stall:%d@%d-%d" pid from_time until_time
+  | Halt_at { time } -> Fmt.pf ppf "halt@%d" time
+
+let pp = Fmt.(list ~sep:comma pp_action)
+let to_string t = Fmt.str "%a" pp t
+
+let action_of_string s =
+  let fail () = Error (Printf.sprintf "cannot parse fault action %S" s) in
+  let int_opt x = int_of_string_opt (String.trim x) in
+  let float_opt x = float_of_string_opt (String.trim x) in
+  match String.index_opt s ':' with
+  | None -> (
+      match String.split_on_char '@' s with
+      | [ "halt"; t ] -> (
+          match int_opt t with
+          | Some time -> Ok (Halt_at { time })
+          | None -> fail ())
+      | _ -> fail ())
+  | Some i -> (
+      let head = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match (head, String.split_on_char '@' rest) with
+      | "crash", [ pid; steps ] -> (
+          match (int_opt pid, int_opt steps) with
+          | Some pid, Some steps -> Ok (Crash_after { pid; steps })
+          | _ -> fail ())
+      | "crashat", [ pid; time ] -> (
+          match (int_opt pid, int_opt time) with
+          | Some pid, Some time -> Ok (Crash_at { pid; time })
+          | _ -> fail ())
+      | "storm", [ prob ] -> (
+          match float_opt prob with
+          | Some prob -> Ok (Storm { prob; max_crashes = None })
+          | None -> fail ())
+      | "storm", [ prob; m ] -> (
+          match (float_opt prob, int_opt m) with
+          | Some prob, Some m -> Ok (Storm { prob; max_crashes = Some m })
+          | _ -> fail ())
+      | "stall", [ pid; window ] -> (
+          match (int_opt pid, String.split_on_char '-' window) with
+          | Some pid, [ f; u ] -> (
+              match (int_opt f, int_opt u) with
+              | Some from_time, Some until_time ->
+                  Ok (Stall { pid; from_time; until_time })
+              | _ -> fail ())
+          | _ -> fail ())
+      | _ -> fail ())
+
+let of_string s =
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  List.fold_left
+    (fun acc part ->
+      match (acc, action_of_string part) with
+      | Ok actions, Ok a -> Ok (a :: actions)
+      | (Error _ as e), _ -> e
+      | _, (Error _ as e) -> e)
+    (Ok []) parts
+  |> Result.map List.rev
+
+let runnable_mem runnable pid = Array.exists (fun p -> p = pid) runnable
+
+(* The compiled wrapper keeps per-plan mutable state: one-shot crash
+   actions still pending, the storm's crash budget (computed lazily so
+   the n-1 default can observe the actual number of processes), and the
+   total number of crashes injected so far (shared across actions, so a
+   plan as a whole also respects the tightest storm bound before the
+   last runnable process would die). *)
+let apply ?(seed = 0xFA17L) (plan : t) (adv : Sim.Sched.adversary) =
+  let rng = Sim.Rng.create seed in
+  let oneshots =
+    ref
+      (List.filter
+         (function Crash_after _ | Crash_at _ -> true | _ -> false)
+         plan)
+  in
+  let storms =
+    List.filter_map
+      (function
+        | Storm { prob; max_crashes } -> Some (prob, max_crashes, ref None)
+        | _ -> None)
+      plan
+  in
+  let stalls =
+    List.filter_map
+      (function
+        | Stall { pid; from_time; until_time } ->
+            Some (pid, from_time, until_time)
+        | _ -> None)
+      plan
+  in
+  let halts =
+    List.filter_map (function Halt_at { time } -> Some time | _ -> None) plan
+  in
+  let decide (view : Sim.Sched.view) =
+    let now = view.Sim.Sched.view_time in
+    if List.exists (fun t -> now >= t) halts then Sim.Sched.Halt
+    else begin
+      let m = Array.length view.Sim.Sched.runnable in
+      (* 1. Due one-shot crashes (in plan order). *)
+      let due =
+        List.find_opt
+          (fun a ->
+            match a with
+            | Crash_after { pid; steps } ->
+                runnable_mem view.Sim.Sched.runnable pid
+                && (view.Sim.Sched.pending_of pid).Sim.Sched.view_steps >= steps
+            | Crash_at { pid; time } ->
+                runnable_mem view.Sim.Sched.runnable pid && now >= time
+            | _ -> false)
+          !oneshots
+      in
+      match due with
+      | Some (Crash_after { pid; _ } as a) | Some (Crash_at { pid; _ } as a) ->
+          oneshots := List.filter (fun a' -> a' != a) !oneshots;
+          Sim.Sched.Crash_proc pid
+      | Some _ | None -> (
+          (* 2. Crash storms: a uniformly chosen runnable victim with the
+             storm's probability, never the last runnable process, and
+             never beyond the storm's budget (default n-1, where n is the
+             runnable count at the storm's first decision). *)
+          let struck =
+            List.find_map
+              (fun (prob, max_crashes, budget) ->
+                let left =
+                  match !budget with
+                  | Some left -> left
+                  | None ->
+                      let left =
+                        match max_crashes with
+                        | Some c -> c
+                        | None -> max 0 (m - 1)
+                      in
+                      budget := Some left;
+                      left
+                in
+                if left > 0 && m > 1 && Sim.Rng.float rng < prob then begin
+                  budget := Some (left - 1);
+                  Some view.Sim.Sched.runnable.(Sim.Rng.int rng m)
+                end
+                else None)
+              storms
+          in
+          match struck with
+          | Some pid -> Sim.Sched.Crash_proc pid
+          | None ->
+              (* 3. Stall windows: hide stalled processes from the base
+                 adversary, unless that would leave it nothing to
+                 schedule (stalling is a delay, never a deadlock). *)
+              let stalled pid =
+                List.exists
+                  (fun (p, from_t, until_t) ->
+                    p = pid && now >= from_t && now < until_t)
+                  stalls
+              in
+              let filtered =
+                Array.of_seq
+                  (Seq.filter
+                     (fun pid -> not (stalled pid))
+                     (Array.to_seq view.Sim.Sched.runnable))
+              in
+              let view' =
+                if Array.length filtered = 0 || Array.length filtered = m then
+                  view
+                else { view with Sim.Sched.runnable = filtered }
+              in
+              adv.Sim.Sched.decide view')
+    end
+  in
+  {
+    Sim.Sched.adv_name = adv.Sim.Sched.adv_name ^ "+fault";
+    adv_klass = adv.Sim.Sched.adv_klass;
+    decide;
+  }

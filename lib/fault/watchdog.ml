@@ -1,0 +1,59 @@
+type reason = Timed_out of float | Raised of string
+
+type failure = {
+  attempts : int;
+  seeds_tried : int64 list;
+  last_reason : reason;
+}
+
+type 'a success = {
+  value : 'a;
+  seed_used : int64;
+  attempt : int;
+  elapsed : float;
+}
+
+let pp_reason ppf = function
+  | Timed_out s -> Fmt.pf ppf "timed out after %.2fs" s
+  | Raised msg -> Fmt.pf ppf "raised %s" msg
+
+let pp_failure ppf f =
+  Fmt.pf ppf "%d attempt%s (seeds %a): %a" f.attempts
+    (if f.attempts = 1 then "" else "s")
+    Fmt.(list ~sep:comma int64)
+    f.seeds_tried pp_reason f.last_reason
+
+(* Deterministic seed rotation: attempt 0 uses the caller's seed, later
+   attempts draw from a splitmix stream derived from it, so a failing
+   seed is always reported and the retry sequence is reproducible. *)
+let rotate base =
+  let stream = Sim.Rng.create (Int64.logxor base 0xDA7AD06_5EEDL) in
+  fun attempt -> if attempt = 0 then base else Sim.Rng.next stream
+
+let run ?(timeout = 5.0) ?(retries = 2) ~seed f =
+  let next_seed = rotate seed in
+  let rec attempt k seeds_tried =
+    let s = next_seed k in
+    let seeds_tried = s :: seeds_tried in
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      match f ~seed:s with v -> Ok v | exception e -> Error (Printexc.to_string e)
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let failed reason =
+      if k < retries then attempt (k + 1) seeds_tried
+      else
+        Error
+          {
+            attempts = k + 1;
+            seeds_tried = List.rev seeds_tried;
+            last_reason = reason;
+          }
+    in
+    match outcome with
+    | Ok value ->
+        if elapsed > timeout then failed (Timed_out elapsed)
+        else Ok { value; seed_used = s; attempt = k; elapsed }
+    | Error msg -> failed (Raised msg)
+  in
+  attempt 0 []

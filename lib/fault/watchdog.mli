@@ -1,0 +1,46 @@
+(** Watchdog-wrapped trial execution: per-trial wall-clock timeout,
+    bounded retry with deterministic seed rotation, failure-seed
+    reporting.
+
+    The chaos harness runs thousands of randomized trials, some across
+    real domains where the OS scheduler is the adversary. A trial that
+    raises or takes suspiciously long is retried a bounded number of
+    times with rotated seeds; the seeds tried are reported on failure so
+    any outcome can be reproduced.
+
+    OCaml domains cannot be preempted, so the timeout is detect-and-
+    report: a trial that overruns is recorded as [Timed_out] once it
+    returns (in-simulator runs additionally get hard in-run preemption
+    from [Sched.run]'s [max_total_steps] budget). All algorithms under
+    test are wait-free, so a trial that never returns is itself a bug —
+    of the harness or of a multicore implementation — and shows up as a
+    hung process rather than being silently swallowed. *)
+
+type reason = Timed_out of float | Raised of string
+
+type failure = {
+  attempts : int;  (** Attempts made (1 + retries used). *)
+  seeds_tried : int64 list;  (** In attempt order; reproduce with these. *)
+  last_reason : reason;
+}
+
+type 'a success = {
+  value : 'a;
+  seed_used : int64;  (** The seed of the successful attempt. *)
+  attempt : int;  (** 0 for first-try success. *)
+  elapsed : float;  (** Wall-clock seconds of the successful attempt. *)
+}
+
+val pp_reason : reason Fmt.t
+val pp_failure : failure Fmt.t
+
+val run :
+  ?timeout:float ->
+  ?retries:int ->
+  seed:int64 ->
+  (seed:int64 -> 'a) ->
+  ('a success, failure) result
+(** [run ~seed f] calls [f ~seed]; if it raises or exceeds [timeout]
+    (default 5s) wall-clock, retries with deterministically rotated
+    seeds up to [retries] (default 2) more times. Attempt 0 always uses
+    the caller's [seed], so a clean first run is exactly reproducible. *)

@@ -80,12 +80,27 @@ let with_crashes crashes (adv : Sched.adversary) =
     decide;
   }
 
-let random_crashes ~seed ~crash_prob (adv : Sched.adversary) =
+let random_crashes ?max_crashes ~seed ~crash_prob (adv : Sched.adversary) =
   let rng = Rng.create seed in
+  (* [None] until the first decision, when the paper's n-1 default can
+     be computed from the number of processes still runnable. *)
+  let budget = ref None in
   let decide (view : Sched.view) =
     let m = Array.length view.runnable in
-    if m > 1 && Rng.float rng < crash_prob then
+    let left =
+      match !budget with
+      | Some left -> left
+      | None ->
+          let left =
+            match max_crashes with Some c -> c | None -> max 0 (m - 1)
+          in
+          budget := Some left;
+          left
+    in
+    if left > 0 && m > 1 && Rng.float rng < crash_prob then begin
+      budget := Some (left - 1);
       Sched.Crash_proc view.runnable.(Rng.int rng m)
+    end
     else adv.Sched.decide view
   in
   {

@@ -32,10 +32,26 @@ val rw_oblivious : string -> (Sched.view -> Sched.decision) -> Sched.adversary
 val with_crashes : (int * int) list -> Sched.adversary -> Sched.adversary
 (** [with_crashes [(pid, s); ...] adv] behaves like [adv] but crashes
     process [pid] as soon as it has taken [s] steps. The wrapper has the
-    same class as [adv] (crash times are fixed in advance). *)
+    same class as [adv] (crash times are fixed in advance).
+
+    {!Fault.Plan} in [lib/fault] generalises this wrapper (and
+    {!random_crashes}) to declarative fault plans — crash-after-steps,
+    crash storms, stall windows, timed halts — compiled onto any base
+    adversary; prefer it for new code. *)
 
 val random_crashes :
-  seed:int64 -> crash_prob:float -> Sched.adversary -> Sched.adversary
+  ?max_crashes:int ->
+  seed:int64 ->
+  crash_prob:float ->
+  Sched.adversary ->
+  Sched.adversary
 (** Before each decision, crashes a uniformly chosen runnable process
     with probability [crash_prob], but never crashes the last runnable
-    process (so that a winner can still emerge). *)
+    process (so that a winner can still emerge).
+
+    Invariant (the paper's fault model): at most [max_crashes] processes
+    are ever crashed. The default is [n - 1], where [n] is the number of
+    runnable processes at the wrapper's first decision — the largest
+    number of failures under which wait-free/solo-terminating algorithms
+    must still be correct. Passing a smaller bound restricts the
+    adversary further; the bound can never be exceeded. *)

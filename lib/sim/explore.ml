@@ -5,10 +5,25 @@ let max_branch = 8
 
 (* Execute one run following the choice prefix [path]; uncontrolled
    choices fall back to round-robin scheduling and pseudo-random flips
-   (seeded by [tail_seed]). Returns the final scheduler and, when a
+   (seeded by [tail_seed]). Returns the final scheduler, the outcome of
+   the run ([Error] when the execution itself failed, e.g. blew the
+   step budget because a crash deadlocked a survivor), and, when a
    choice point sits at index [length path] within [depth], its
-   (capped) arity — the children of this prefix in the DFS. *)
-let run_path ~tail_seed ~depth ~programs (path : int array) =
+   (capped) arity — the children of this prefix in the DFS. The branch
+   arity is reported even for failed runs: the frontier choice point is
+   reached before the execution diverges, and sibling resolutions may
+   behave differently.
+
+   When [max_crashes > 0] a scheduling choice point with [m] runnable
+   processes gets extra outcomes: choice [c < min m max_branch]
+   schedules process [runnable.(c mod m)] as before, and choice
+   [c >= min m max_branch] crashes process
+   [runnable.((c - min m max_branch) mod m)], consuming one unit of the
+   crash budget. With [max_crashes = 0] the arity and the numbering of
+   every choice point are exactly the crash-free ones, so existing
+   paths replay unchanged. *)
+let run_path ~tail_seed ~depth ~max_crashes ~max_total_steps ~programs
+    (path : int array) =
   let cursor = ref 0 in
   let branch = ref None in
   let next_choice arity =
@@ -32,24 +47,41 @@ let run_path ~tail_seed ~depth ~programs (path : int array) =
     | None -> None
   in
   let rr = ref 0 in
+  let crashes_left = ref max_crashes in
   let decide (view : Sched.view) =
     match Array.length view.runnable with
     | 0 -> Sched.Halt
     | m -> (
-        match next_choice (min m max_branch) with
-        | Some c -> Sched.Schedule view.runnable.(c mod m)
+        let sched_arity = min m max_branch in
+        let crash_arity = if !crashes_left > 0 then min m max_branch else 0 in
+        match next_choice (sched_arity + crash_arity) with
+        | Some c when c < sched_arity || crash_arity = 0 ->
+            (* The [crash_arity = 0] guard keeps stale paths (shrinking
+               can realign a crash choice onto a budget-exhausted point)
+               interpreted as schedules rather than illegal crashes. *)
+            Sched.Schedule view.runnable.(c mod m)
+        | Some c ->
+            decr crashes_left;
+            Sched.Crash_proc view.runnable.((c - sched_arity) mod m)
         | None ->
             incr rr;
             Sched.Schedule view.runnable.(!rr mod m))
   in
   let sched = Sched.create ~seed:tail_seed ~flip_oracle:oracle (programs ()) in
-  Sched.run sched
-    { Sched.adv_name = "explorer"; adv_klass = Sched.Adaptive; decide };
-  (sched, !branch)
+  let outcome =
+    match
+      Sched.run ~max_total_steps sched
+        { Sched.adv_name = "explorer"; adv_klass = Sched.Adaptive; decide }
+    with
+    | () -> Ok ()
+    | exception e -> Error e
+  in
+  (sched, outcome, !branch)
 
-(* DFS over choice prefixes. [on_execution] sees every completed run and
-   may raise to abort the search. *)
-let dfs ~max_paths ~seed ~depth ~programs ~on_execution =
+(* DFS over choice prefixes. [on_execution] sees every completed run
+   (with the run's own outcome) and may raise to abort the search. *)
+let dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~programs
+    ~on_execution =
   let tail_rng = Rng.create seed in
   let count = ref 0 in
   let stack = ref [ [||] ] in
@@ -59,11 +91,12 @@ let dfs ~max_paths ~seed ~depth ~programs ~on_execution =
     | path :: rest ->
         stack := rest;
         if !count < max_paths then begin
-          let sched, branch =
-            run_path ~tail_seed:(Rng.next tail_rng) ~depth ~programs path
+          let sched, outcome, branch =
+            run_path ~tail_seed:(Rng.next tail_rng) ~depth ~max_crashes
+              ~max_total_steps ~programs path
           in
           incr count;
-          on_execution ~path ~sched;
+          on_execution ~path ~sched ~outcome;
           (match branch with
           | Some arity ->
               for c = arity - 1 downto 0 do
@@ -76,10 +109,11 @@ let dfs ~max_paths ~seed ~depth ~programs ~on_execution =
   loop ();
   !count
 
-let explore ?(max_paths = 2_000_000) ?(seed = 0xE8920AL) ~depth ~programs
-    ~check () =
-  dfs ~max_paths ~seed ~depth ~programs ~on_execution:(fun ~path:_ ~sched ->
-      check sched)
+let explore ?(max_paths = 2_000_000) ?(seed = 0xE8920AL) ?(max_crashes = 0)
+    ?(max_total_steps = 10_000_000) ~depth ~programs ~check () =
+  dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~programs
+    ~on_execution:(fun ~path:_ ~sched ~outcome ->
+      match outcome with Ok () -> check sched | Error e -> raise e)
 
 type violation = {
   path : int array;
@@ -89,21 +123,30 @@ type violation = {
 
 exception Found of int array * string
 
-let find_violation ?(max_paths = 2_000_000) ?(seed = 0xE8920AL) ~depth
-    ~programs ~check () =
+let find_violation ?(max_paths = 2_000_000) ?(seed = 0xE8920AL)
+    ?(max_crashes = 0) ?(max_total_steps = 10_000_000) ~depth ~programs ~check
+    () =
   let executions = ref 0 in
   let attempt path =
     match
-      let sched, _ = run_path ~tail_seed:seed ~depth ~programs path in
+      let sched, outcome, _ =
+        run_path ~tail_seed:seed ~depth ~max_crashes ~max_total_steps ~programs
+          path
+      in
+      (match outcome with Ok () -> () | Error e -> raise e);
       check sched
     with
     | () -> None
     | exception e -> Some (Printexc.to_string e)
   in
   match
-    dfs ~max_paths ~seed ~depth ~programs ~on_execution:(fun ~path ~sched ->
+    dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~programs
+      ~on_execution:(fun ~path ~sched ~outcome ->
         incr executions;
-        match check sched with
+        match
+          (match outcome with Ok () -> () | Error e -> raise e);
+          check sched
+        with
         | () -> ()
         | exception e -> raise (Found (path, Printexc.to_string e)))
   with
@@ -133,6 +176,11 @@ let find_violation ?(max_paths = 2_000_000) ?(seed = 0xE8920AL) ~depth
       done;
       Some { path = !shrunk; message = !msg; executions = !executions }
 
-let replay ?(seed = 0xE8920AL) ~path ~programs () =
-  let sched, _ = run_path ~tail_seed:seed ~depth:0 ~programs path in
+let replay ?(seed = 0xE8920AL) ?(max_crashes = 0)
+    ?(max_total_steps = 10_000_000) ~path ~programs () =
+  let sched, outcome, _ =
+    run_path ~tail_seed:seed ~depth:0 ~max_crashes ~max_total_steps ~programs
+      path
+  in
+  (match outcome with Ok () -> () | Error e -> raise e);
   sched

@@ -3,24 +3,39 @@
     [explore ~depth ~programs ~check ()] enumerates every resolution of
     the first [depth] nondeterministic choice points of an execution — a
     choice point is either a scheduling decision (which runnable process
-    steps next) or a coin flip — and runs each resulting execution to
-    completion, resolving choices beyond the controlled prefix with a
-    round-robin schedule and pseudo-random flips. [check] is called on
-    every completed execution and should raise (e.g. an Alcotest failure)
-    on a violated property. Choice points of huge arity (probability
-    draws over many values) are branched over at most 8 evenly spaced
+    steps next), a coin flip, or (with a positive [max_crashes]) a crash
+    decision — and runs each resulting execution to completion,
+    resolving choices beyond the controlled prefix with a round-robin
+    schedule and pseudo-random flips. [check] is called on every
+    completed execution and should raise (e.g. an Alcotest failure) on a
+    violated property. Choice points of huge arity (probability draws
+    over many values) are branched over at most 8 evenly spaced
     representative outcomes rather than exhaustively.
 
-    Executions are crash-free; safety properties of crash-prone runs are
-    covered because any violation reachable with crashes is also
-    reachable in some crash-free schedule for the one-shot objects tested
-    this way, and liveness-under-crash is tested separately.
+    Crash-aware exploration: with [max_crashes = c > 0], every
+    scheduling choice point additionally offers, while the budget lasts,
+    the outcomes "crash this runnable process instead of scheduling
+    anyone" — one per (capped) runnable process. This enumerates every
+    schedule in which up to [c] processes fail at arbitrary operation
+    boundaries, the fault model of the paper's wait-free algorithms
+    (where up to [n-1] processes may crash). The default [max_crashes =
+    0] leaves the arity and numbering of every choice point exactly as
+    before, so crash-free exploration and previously recorded paths are
+    unaffected.
+
+    [max_total_steps] bounds each execution (default 10 million, the
+    {!Sched.run} default); a run that exceeds it raises. Crash-aware
+    searches for lost-wakeup bugs (a survivor spinning on a crashed
+    helper) should pass a small bound so divergent executions fail
+    fast — {!find_violation} reports such a failed run as a violation.
 
     Returns the number of executions checked. *)
 
 val explore :
   ?max_paths:int ->
   ?seed:int64 ->
+  ?max_crashes:int ->
+  ?max_total_steps:int ->
   depth:int ->
   programs:(unit -> (Ctx.t -> int) array) ->
   check:(Sched.t -> unit) ->
@@ -36,23 +51,32 @@ type violation = {
 val find_violation :
   ?max_paths:int ->
   ?seed:int64 ->
+  ?max_crashes:int ->
+  ?max_total_steps:int ->
   depth:int ->
   programs:(unit -> (Ctx.t -> int) array) ->
   check:(Sched.t -> unit) ->
   unit ->
   violation option
-(** Like {!explore}, but treats an exception from [check] as a found
-    violation instead of propagating it: returns the failure with its
-    choice prefix greedily shrunk (dropping one choice at a time while
-    the failure still reproduces), or [None] when the whole bounded
-    space passes. Useful for debugging protocols: the returned path is a
-    minimal-ish schedule/coin recipe for the bug. *)
+(** Like {!explore}, but treats an exception from [check] — or from the
+    execution itself, e.g. a blown [max_total_steps] budget when a crash
+    deadlocks a survivor — as a found violation instead of propagating
+    it: returns the failure with its choice prefix greedily shrunk
+    (dropping one choice at a time while the failure still reproduces),
+    or [None] when the whole bounded space passes. Useful for debugging
+    protocols: the returned path is a minimal-ish schedule/coin/crash
+    recipe for the bug. *)
 
 val replay :
   ?seed:int64 ->
+  ?max_crashes:int ->
+  ?max_total_steps:int ->
   path:int array ->
   programs:(unit -> (Ctx.t -> int) array) ->
   unit ->
   Sched.t
 (** Re-execute the given choice prefix (resolving the suffix with the
-    explorer's default policy) and return the final scheduler state. *)
+    explorer's default policy) and return the final scheduler state; a
+    failing run re-raises (reproducing e.g. a deadlock violation).
+    [max_crashes] must match the value the path was found with, since it
+    determines how choice indices at scheduling points are decoded. *)

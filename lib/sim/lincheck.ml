@@ -10,19 +10,30 @@ type operation = {
   end_time : int;
 }
 
-(* DFS over linearization prefixes: at each point, any pending operation
-   that is "minimal" (no other operation ended before it started) may be
-   linearized next if the spec accepts it. *)
-let linearizable spec ops =
-  let rec search state remaining =
-    match remaining with
+type pending = {
+  p_op : int;
+  p_start : int;
+  possible_results : int list;
+}
+
+(* DFS over linearization prefixes: at each point, any completed
+   operation that is "minimal" (no other completed operation ended
+   before it started) may be linearized next if the spec accepts it; a
+   pending operation may be linearized (with any of its candidate
+   results) once every completed operation that ended before it started
+   has been consumed, or dropped entirely (it never took effect).
+   Pending operations never respond, so they impose no real-time
+   constraint on anyone else. *)
+let search_incomplete spec completed pending =
+  let rec search state completed pending =
+    match completed with
     | [] -> true
     | _ ->
         let minimal o =
           not
             (List.exists
                (fun o' -> o' != o && o'.end_time < o.start_time)
-               remaining)
+               completed)
         in
         List.exists
           (fun o ->
@@ -30,11 +41,31 @@ let linearizable spec ops =
             &&
             match spec.apply state ~op:o.op ~result:o.result with
             | Some state' ->
-                search state' (List.filter (fun o' -> o' != o) remaining)
+                search state'
+                  (List.filter (fun o' -> o' != o) completed)
+                  pending
             | None -> false)
-          remaining
+          completed
+        || List.exists
+             (fun p ->
+               (not
+                  (List.exists (fun o -> o.end_time < p.p_start) completed))
+               && List.exists
+                    (fun r ->
+                      match spec.apply state ~op:p.p_op ~result:r with
+                      | Some state' ->
+                          search state' completed
+                            (List.filter (fun p' -> p' != p) pending)
+                      | None -> false)
+                    p.possible_results)
+             pending
   in
-  search spec.initial ops
+  search spec.initial completed pending
+
+let linearizable spec ops = search_incomplete spec ops []
+
+let linearizable_incomplete spec ~completed ~pending =
+  search_incomplete spec completed pending
 
 let tas_spec =
   {
@@ -63,27 +94,29 @@ let tas_history_of_sched sched =
   done;
   !ops
 
+(* An unfinished process's TAS call — crashed, or cut off when the
+   adversary halted the execution — may have taken effect only if it
+   took at least one shared-memory step, and only as the winning 0
+   (taking effect as 1 leaves the spec state unchanged, so it never
+   legalises anything a dropped call would not). *)
+let tas_pending_of_sched sched =
+  let ps = ref [] in
+  for pid = Sched.n sched - 1 downto 0 do
+    if
+      Sched.result sched pid = None
+      && Sched.first_step_time sched pid >= 0
+    then
+      ps :=
+        {
+          p_op = pid;
+          p_start = Sched.first_step_time sched pid;
+          possible_results = [ 0 ];
+        }
+        :: !ps
+  done;
+  !ps
+
 let check_tas_sched sched =
-  let history = tas_history_of_sched sched in
-  if linearizable tas_spec history then true
-  else
-    (* A pending (crashed) call may have taken effect: linearizability
-       permits completing it. Try each crashed process that took at
-       least one step as a phantom winner. *)
-    let rec try_phantom pid =
-      if pid >= Sched.n sched then false
-      else if
-        Sched.status sched pid = Crashed
-        && Sched.first_step_time sched pid >= 0
-        && linearizable tas_spec
-             ({
-                op = pid;
-                result = 0;
-                start_time = Sched.first_step_time sched pid;
-                end_time = max_int;
-              }
-             :: history)
-      then true
-      else try_phantom (pid + 1)
-    in
-    try_phantom 0
+  linearizable_incomplete tas_spec
+    ~completed:(tas_history_of_sched sched)
+    ~pending:(tas_pending_of_sched sched)

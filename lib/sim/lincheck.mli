@@ -1,10 +1,19 @@
-(** A small linearizability checker (Wing–Gong style search).
+(** A small linearizability checker (Wing–Gong style search), with
+    support for the incomplete histories crashed processes leave behind.
 
     A history is a set of completed operations with real-time intervals;
     it is linearizable w.r.t. a sequential specification if some total
     order of the operations (a) respects real time — an operation that
     finished before another started comes first — and (b) replays
     legally through the specification from its initial state.
+
+    A {e pending} operation (a call whose process crashed before
+    responding) may or may not have taken effect: the checker searches
+    over both — inserting it at any legal point after its invocation
+    with any of its candidate results, or dropping it entirely. This is
+    the standard completion-based definition of linearizability for
+    crash-prone histories (Herlihy–Wing: a pending invocation may be
+    completed or removed).
 
     The search is exponential in the worst case; it is meant for the
     small histories the simulator produces (a few dozen operations).
@@ -27,7 +36,23 @@ type operation = {
   end_time : int;  (** Response; [max_int] for never-returning. *)
 }
 
+type pending = {
+  p_op : int;  (** Operation label. *)
+  p_start : int;  (** Invocation time (first shared-memory step). *)
+  possible_results : int list;
+      (** Results the call could have taken effect with. *)
+}
+
 val linearizable : 'state spec -> operation list -> bool
+
+val linearizable_incomplete :
+  'state spec -> completed:operation list -> pending:pending list -> bool
+(** Linearizability of an incomplete history: every completed operation
+    must be linearized exactly once, and each pending operation may
+    additionally be linearized at most once — at any point after all
+    operations that responded before it was invoked — with any result in
+    its [possible_results], or left out. [linearizable spec ops] is
+    [linearizable_incomplete spec ~completed:ops ~pending:[]]. *)
 
 val tas_spec : bool spec
 (** Operations are TAS() calls ([op] is ignored); result 0 is legal only
@@ -40,8 +65,19 @@ val tas_history_of_sched : Sched.t -> operation list
     taking steps observed only its own state; its interval is collapsed
     to its finish time. *)
 
+val tas_pending_of_sched : Sched.t -> pending list
+(** The pending TAS calls of unfinished processes — crashed, or cut off
+    when the adversary halted the execution: one per such process that
+    took at least one shared-memory step (a call that never reached
+    shared memory cannot have taken effect), with candidate result 0
+    only — a call that took effect as 1 changes nothing, so it never
+    legalises an otherwise-illegal history. *)
+
 val check_tas_sched : Sched.t -> bool
-(** [linearizable tas_spec (tas_history_of_sched sched)], with the
-    convention that crashed processes are excluded (their TAS call may
-    or may not have taken effect; completed-operation linearizability is
-    what the paper's reduction needs). *)
+(** Crash-aware TAS linearizability of an execution:
+    [linearizable_incomplete tas_spec] over the completed history
+    ({!tas_history_of_sched}) and the crashed processes' pending calls
+    ({!tas_pending_of_sched}). A crashed possible-winner legalises
+    everyone else returning 1, but a second completed 0 is always
+    illegal — and a survivor returning 1 with no other process ever
+    having taken a step is illegal too (nobody can have set the bit). *)

@@ -67,6 +67,22 @@ let test_splitter_random_many () =
     check_splitter_outcomes 16 sched
   done
 
+let test_splitter_crash_exhaustive () =
+  (* Every bounded crash schedule (up to 2 crashes anywhere in the first
+     8 choices): never two processes stop at the same splitter. *)
+  let n =
+    Sim.Explore.explore ~depth:8 ~max_crashes:2 ~programs:(splitter_programs 2)
+      ~check:(fun sched ->
+        let stops =
+          Array.fold_left
+            (fun a r -> if r = Some 2 then a + 1 else a)
+            0 (Sim.Sched.results sched)
+        in
+        if stops > 1 then Alcotest.fail "two processes stopped")
+      ()
+  in
+  checkb "explored" true (n > 100)
+
 let test_splitter_space () =
   let mem = Sim.Memory.create () in
   let _ = Primitives.Splitter.create mem in
@@ -184,6 +200,18 @@ let test_le2_survivor_decides_after_crash () =
       checkb "at most one winner" true (count_winners sched <= 1)
     done
   done
+
+let test_le2_crash_exhaustive () =
+  (* Model-check the crash model itself: every resolution of the first
+     8 choices — scheduling, coins, or "crash one of the runnable
+     processes" (up to one crash) — keeps at-most-one-winner, and a
+     fully finished execution still elects somebody. *)
+  let n =
+    Sim.Explore.explore ~depth:10 ~max_crashes:1
+      ~programs:(fun () -> le2_programs ())
+      ~check:check_le2 ()
+  in
+  checkb (Printf.sprintf "explored %d crash schedules" n) true (n > 5_000)
 
 let test_le2_expected_steps_constant () =
   (* Average steps of the max-steps process over random schedules must be
@@ -476,6 +504,61 @@ let test_lincheck_rejects_bad_histories () =
   checkb "empty history accepted" true
     (Sim.Lincheck.linearizable Sim.Lincheck.tas_spec [])
 
+let test_lincheck_crash_aware () =
+  let mk op result start_time end_time =
+    { Sim.Lincheck.op; result; start_time; end_time }
+  in
+  let pend op start =
+    { Sim.Lincheck.p_op = op; p_start = start; possible_results = [ 0 ] }
+  in
+  let lin = Sim.Lincheck.linearizable_incomplete Sim.Lincheck.tas_spec in
+  (* Survivors all returning 1 with nobody completing a 0 is illegal... *)
+  checkb "all ones without a winner rejected" false
+    (lin ~completed:[ mk 0 1 3 4; mk 1 1 5 6 ] ~pending:[]);
+  (* ...unless a crashed possible-winner's pending call explains them. *)
+  checkb "crashed possible-winner legalises the ones" true
+    (lin ~completed:[ mk 0 1 3 4; mk 1 1 5 6 ] ~pending:[ pend 2 1 ]);
+  (* A pending call never legalises a second completed 0. *)
+  checkb "two zeros always illegal" false
+    (lin ~completed:[ mk 0 0 1 2; mk 1 0 3 4 ] ~pending:[ pend 2 1 ]);
+  (* Real time binds the phantom too: it cannot linearize before an
+     operation that responded before the phantom was invoked, so a
+     completed 1 followed by a later-crashed would-be winner stays
+     illegal. *)
+  checkb "phantom cannot precede an earlier completed 1" false
+    (lin ~completed:[ mk 0 1 1 2 ] ~pending:[ pend 1 5 ]);
+  (* A pending call may also simply never have taken effect. *)
+  checkb "pending call droppable" true
+    (lin ~completed:[ mk 0 0 1 2; mk 1 1 3 4 ] ~pending:[ pend 2 1 ])
+
+let test_tas_crash_lincheck () =
+  (* Crash the would-be winner at every early point of the real 2-process
+     TAS under random schedules: the incomplete histories must always be
+     crash-aware linearizable, and the "survivor loses to a crashed
+     phantom winner" case must actually occur. *)
+  let phantom_case = ref false in
+  for crash_after = 0 to 12 do
+    for seed = 1 to 40 do
+      let sched =
+        Sim.Sched.create
+          ~seed:(Int64.of_int (seed + (crash_after * 1000)))
+          (tas_programs 2 ())
+      in
+      let adv =
+        Sim.Adversary.with_crashes
+          [ (0, crash_after) ]
+          (Sim.Adversary.random_oblivious ~seed:(Int64.of_int ((seed * 7) + 1)))
+      in
+      Sim.Sched.run sched adv;
+      checkb "crash-aware linearizable" true (Sim.Lincheck.check_tas_sched sched);
+      if
+        Sim.Sched.status sched 0 = Sim.Sched.Crashed
+        && Sim.Sched.result sched 1 = Some 1
+      then phantom_case := true
+    done
+  done;
+  checkb "phantom-winner case exercised" true !phantom_case
+
 let test_tas_sequential () =
   (* Strictly sequential calls: first gets 0, second gets 1. *)
   let sched = Sim.Sched.create (tas_programs 2 ()) in
@@ -492,6 +575,8 @@ let () =
           Alcotest.test_case "solo stops" `Quick test_splitter_solo;
           Alcotest.test_case "exhaustive k=2" `Quick test_splitter_explore_2;
           Alcotest.test_case "exhaustive k=3" `Slow test_splitter_explore_3;
+          Alcotest.test_case "exhaustive crash schedules" `Quick
+            test_splitter_crash_exhaustive;
           Alcotest.test_case "random k=16" `Quick test_splitter_random_many;
           Alcotest.test_case "space" `Quick test_splitter_space;
           Alcotest.test_case "sequential callers" `Quick
@@ -510,6 +595,8 @@ let () =
           Alcotest.test_case "random schedules" `Quick test_le2_random_deep;
           Alcotest.test_case "solo wins" `Quick test_le2_solo_wins;
           Alcotest.test_case "crash safety" `Quick test_le2_survivor_decides_after_crash;
+          Alcotest.test_case "exhaustive crash schedules" `Slow
+            test_le2_crash_exhaustive;
           Alcotest.test_case "constant expected steps" `Quick
             test_le2_expected_steps_constant;
           Alcotest.test_case "space" `Quick test_le2_space;
@@ -541,6 +628,10 @@ let () =
             test_tas_lincheck_random;
           Alcotest.test_case "lincheck rejects bad histories" `Quick
             test_lincheck_rejects_bad_histories;
+          Alcotest.test_case "lincheck crash-aware completions" `Quick
+            test_lincheck_crash_aware;
+          Alcotest.test_case "lincheck under winner crashes" `Quick
+            test_tas_crash_lincheck;
           Alcotest.test_case "sequential" `Quick test_tas_sequential;
         ] );
     ]

@@ -247,6 +247,27 @@ let test_classic_exhaustive_2 () =
   in
   checkb "explored" true (n > 200)
 
+let test_classic_crash_exhaustive_2 () =
+  (* Every bounded crash schedule (one crash anywhere in the first 7
+     choices) keeps at-most-one-winner through the full RatRace stack. *)
+  let n =
+    Sim.Explore.explore ~depth:7 ~max_crashes:1
+      ~programs:(rr_programs (classic_make 2) 2)
+      ~check:(fun sched ->
+        let winners =
+          Array.fold_left
+            (fun a r -> if r = Some 1 then a + 1 else a)
+            0 (Sim.Sched.results sched)
+        in
+        if winners > 1 then Alcotest.fail "two winners";
+        if
+          Array.for_all Option.is_some (Sim.Sched.results sched)
+          && winners <> 1
+        then Alcotest.fail "no winner")
+      ()
+  in
+  checkb "explored" true (n > 200)
+
 let test_lean_one_winner () =
   List.iter
     (fun (n, k) ->
@@ -427,6 +448,8 @@ let () =
           Alcotest.test_case "classic: one winner" `Quick test_classic_one_winner;
           Alcotest.test_case "classic: solo" `Quick test_classic_solo;
           Alcotest.test_case "classic: exhaustive n=2" `Quick test_classic_exhaustive_2;
+          Alcotest.test_case "classic: exhaustive crash schedules" `Quick
+            test_classic_crash_exhaustive_2;
           Alcotest.test_case "lean: one winner" `Quick test_lean_one_winner;
           Alcotest.test_case "lean: solo" `Quick test_lean_solo;
           Alcotest.test_case "lean: exhaustive n=2" `Quick test_lean_exhaustive_2;

@@ -493,6 +493,100 @@ let test_find_violation_on_buggy_protocol () =
            false
          with Failure _ -> true)
 
+(* {2 Crash-aware exploration} *)
+
+let test_explore_crash_budget () =
+  (* With [max_crashes = 1] some explored executions crash a process,
+     and none crashes more than the budget. *)
+  let programs () =
+    let mem = Sim.Memory.create () in
+    let reg = Sim.Register.create mem in
+    Array.init 3 (fun _ -> incr_prog reg)
+  in
+  let crashed_runs = ref 0 and over_budget = ref false in
+  let n =
+    Sim.Explore.explore ~depth:4 ~max_crashes:1 ~programs
+      ~check:(fun sched ->
+        let c = ref 0 in
+        for pid = 0 to 2 do
+          if Sim.Sched.status sched pid = Sim.Sched.Crashed then incr c
+        done;
+        if !c > 0 then incr crashed_runs;
+        if !c > 1 then over_budget := true)
+      ()
+  in
+  checkb "explored" true (n > 10);
+  checkb "some runs crash a process" true (!crashed_runs > 0);
+  checkb "never beyond the budget" false !over_budget
+
+let test_explore_no_crashes_by_default () =
+  (* [max_crashes] defaults to 0: choice-point numbering and arity are
+     exactly the crash-free ones, and nobody ever crashes. *)
+  let programs () =
+    let mem = Sim.Memory.create () in
+    let reg = Sim.Register.create mem in
+    Array.init 2 (fun _ -> incr_prog reg)
+  in
+  let _ =
+    Sim.Explore.explore ~depth:4 ~programs
+      ~check:(fun sched ->
+        for pid = 0 to 1 do
+          checkb "no crash" false (Sim.Sched.status sched pid = Sim.Sched.Crashed)
+        done)
+      ()
+  in
+  ()
+
+(* A deliberately broken handoff protocol with a {e crash-only} safety
+   bug: p0 announces itself then spins until p1's signal arrives; p1
+   just signals. Crash-free every fair execution terminates, but if p1
+   crashes before writing, p0 spins forever — a lost wakeup only
+   crash-aware exploration can expose (as a blown step budget). This is
+   precisely the failure mode RatRace's backup structure guards
+   against. *)
+let handoff_programs () =
+  let mem = Sim.Memory.create () in
+  let a = Sim.Register.create mem and b = Sim.Register.create mem in
+  [|
+    (fun ctx ->
+      Sim.Ctx.write ctx a 1;
+      let rec wait () = if Sim.Ctx.read ctx b = 0 then wait () else 0 in
+      wait ());
+    (fun ctx ->
+      Sim.Ctx.write ctx b 1;
+      0);
+  |]
+
+let test_find_violation_crash_only_bug () =
+  (* Without crashes the protocol is fine in the bounded space... *)
+  checkb "no crash-free violation" true
+    (Sim.Explore.find_violation ~depth:4 ~max_total_steps:400
+       ~programs:handoff_programs
+       ~check:(fun _ -> ())
+       ()
+    = None);
+  (* ...but one crash suffices, and the violating path shrinks to the
+     single "crash p1 now" decision. *)
+  match
+    Sim.Explore.find_violation ~depth:4 ~max_crashes:1 ~max_total_steps:400
+      ~programs:handoff_programs
+      ~check:(fun _ -> ())
+      ()
+  with
+  | None -> Alcotest.fail "expected a crash-induced livelock violation"
+  | Some v ->
+      checkb "shrunk to very few choices" true (Array.length v.Sim.Explore.path <= 2);
+      checkb "message mentions the step budget" true
+        (String.length v.Sim.Explore.message > 0);
+      (* Replay (with the same crash budget) reproduces the divergence. *)
+      checkb "replay reproduces the livelock" true
+        (try
+           ignore
+             (Sim.Explore.replay ~max_crashes:1 ~max_total_steps:400
+                ~path:v.Sim.Explore.path ~programs:handoff_programs ());
+           false
+         with Failure _ -> true)
+
 let test_find_violation_none_on_correct_protocol () =
   (* The fixed duel (thresholds -3/+2) admits no violation in the same
      bounded space. *)
@@ -582,5 +676,11 @@ let () =
             test_find_violation_on_buggy_protocol;
           Alcotest.test_case "no false positives" `Quick
             test_find_violation_none_on_correct_protocol;
+          Alcotest.test_case "crash budget respected" `Quick
+            test_explore_crash_budget;
+          Alcotest.test_case "no crashes by default" `Quick
+            test_explore_no_crashes_by_default;
+          Alcotest.test_case "crash-only bug found + shrunk" `Quick
+            test_find_violation_crash_only_bug;
         ] );
     ]

@@ -1,4 +1,4 @@
-.PHONY: all check test build chaos-smoke clean
+.PHONY: all check test build chaos-smoke bench-smoke clean
 
 all: build
 
@@ -17,6 +17,17 @@ check:
 chaos-smoke:
 	dune exec bin/rtas_cli.exe -- chaos -n 16 -k 6 --trials 5 \
 	  --probs 0,0.05,0.2 --seed 42 --mc
+
+# Fast bench smoke: a reduced perf sweep on 2 domains, then validate
+# that BENCH_results.json parses, carries the expected schema and
+# passed the cross-domain determinism check. Also guards that the
+# dune build tree stays untracked.
+bench-smoke:
+	git check-ignore -q _build
+	dune exec bench/main.exe -- perf --domains 2 --trials 40 \
+	  --out BENCH_results.json
+	jq -e '.schema_version == 1 and .parallel_sweep.bit_identical == true and (.parallel_sweep.trials_per_sec > 0)' BENCH_results.json >/dev/null
+	@echo "bench-smoke: BENCH_results.json OK"
 
 clean:
 	dune clean

@@ -1,5 +1,10 @@
 (* Experiment harness: one experiment per theorem/claim of the paper.
-   Each [run_*] prints the table described in EXPERIMENTS.md. *)
+   Each [run_*] prints the table described in EXPERIMENTS.md.
+
+   Every statistical loop fans out over [Engine] with [!domains]
+   domains; per-trial seeds (and every sub-seed inside a trial) come
+   from [Sim.Rng.derive], so the tables are bit-identical for any
+   domain count. *)
 
 let pr = Fmt.pr
 
@@ -14,9 +19,22 @@ let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let log2 x = log x /. log 2.0
 
-(* Average (over seeds) of a per-run measurement on a fresh system. *)
+(* Domain-pool width for every experiment batch; bench/main.ml sets it
+   from --domains. *)
+let domains = ref (Engine.default_domains ())
+
+let derive = Sim.Rng.derive
+
+(* Base seed of every experiment batch. Trials derive from it by index,
+   so tables do not depend on how many batches ran before them. *)
+let base_seed = 0x0E17A5EEDL
+
+(* Average (over derived per-trial seeds) of a per-run measurement on a
+   fresh system. [f] receives the trial's base seed and mints sub-seeds
+   with [derive ~stream]. *)
 let avg_runs ~trials f =
-  mean (List.init trials (fun i -> f (i + 1)))
+  Engine.mean ~domains:!domains ~trials ~seed:base_seed
+    (fun ~trial:_ ~seed -> f seed)
 
 (* {1 E1 — Lemma 2.2: performance parameter of the Figure 1 GroupElect} *)
 
@@ -32,12 +50,12 @@ let run_e1 () =
             let mem = Sim.Memory.create () in
             let ge = Groupelect.Ge_logstar.create mem ~n in
             let sched =
-              Sim.Sched.create ~seed:(Int64.of_int (seed * 7))
+              Sim.Sched.create ~seed:(derive seed ~stream:0)
                 (Array.init k (fun _ ctx ->
                      if ge.Groupelect.Ge.elect ctx then 1 else 0))
             in
             Sim.Sched.run sched
-              (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 13)));
+              (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:1));
             float_of_int
               (Array.fold_left
                  (fun a r -> if r = Some 1 then a + 1 else a)
@@ -64,11 +82,11 @@ let run_e2 () =
             let mem = Sim.Memory.create () in
             let le = Leaderelect.Le_logstar.make mem ~n in
             let sched =
-              Sim.Sched.create ~seed:(Int64.of_int seed)
+              Sim.Sched.create ~seed:(derive seed ~stream:0)
                 (Leaderelect.Le.programs le ~k)
             in
             Sim.Sched.run sched
-              (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 31)));
+              (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:1));
             regs := Sim.Memory.allocated mem;
             float_of_int (Sim.Sched.max_steps sched))
       in
@@ -89,35 +107,44 @@ let run_e3 () =
   let probs = Groupelect.Ge_sift.probability_schedule ~n in
   let counts = Array.make (Array.length probs + 1) 0.0 in
   let trials = 20 in
-  for seed = 1 to trials do
-    let mem = Sim.Memory.create () in
-    let ges =
-      Array.mapi
-        (fun i p ->
-          Groupelect.Ge_sift.create ~name:(Printf.sprintf "s%d" i) mem
-            ~write_prob:p)
-        probs
-    in
-    (* Every process walks the sifting levels; record how many survive
-       each level. *)
-    let survivors = Array.make (Array.length probs + 1) 0 in
-    let programs =
-      Array.init n (fun _ ctx ->
-          let rec go i =
-            survivors.(i) <- survivors.(i) + 1;
-            if i >= Array.length ges then 1
-            else if ges.(i).Groupelect.Ge.elect ctx then go (i + 1)
-            else 0
-          in
-          go 0)
-    in
-    let sched = Sim.Sched.create ~seed:(Int64.of_int seed) programs in
-    Sim.Sched.run sched
-      (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 3)));
-    Array.iteri
-      (fun i c -> counts.(i) <- counts.(i) +. (float_of_int c /. float_of_int trials))
-      survivors
-  done;
+  (* Each trial returns its own survivor counts; the fold into [counts]
+     happens in trial order on the caller. *)
+  let per_trial =
+    Engine.run ~domains:!domains ~trials ~seed:base_seed
+      (fun ~trial:_ ~seed ->
+        let mem = Sim.Memory.create () in
+        let ges =
+          Array.mapi
+            (fun i p ->
+              Groupelect.Ge_sift.create ~name:(Printf.sprintf "s%d" i) mem
+                ~write_prob:p)
+            probs
+        in
+        (* Every process walks the sifting levels; record how many
+           survive each level. *)
+        let survivors = Array.make (Array.length probs + 1) 0 in
+        let programs =
+          Array.init n (fun _ ctx ->
+              let rec go i =
+                survivors.(i) <- survivors.(i) + 1;
+                if i >= Array.length ges then 1
+                else if ges.(i).Groupelect.Ge.elect ctx then go (i + 1)
+                else 0
+              in
+              go 0)
+        in
+        let sched = Sim.Sched.create ~seed:(derive seed ~stream:0) programs in
+        Sim.Sched.run sched
+          (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:1));
+        survivors)
+  in
+  Array.iter
+    (fun survivors ->
+      Array.iteri
+        (fun i c ->
+          counts.(i) <- counts.(i) +. (float_of_int c /. float_of_int trials))
+        survivors)
+    per_trial;
   Array.iteri
     (fun i c ->
       let prediction =
@@ -135,11 +162,11 @@ let run_e3 () =
             let mem = Sim.Memory.create () in
             let le = Leaderelect.Le_loglog.make mem ~n in
             let sched =
-              Sim.Sched.create ~seed:(Int64.of_int seed)
+              Sim.Sched.create ~seed:(derive seed ~stream:0)
                 (Leaderelect.Le.programs le ~k)
             in
             Sim.Sched.run sched
-              (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 31)));
+              (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:1));
             float_of_int (Sim.Sched.max_steps sched))
       in
       let ll = if k <= 2 then 1.0 else log2 (log2 (float_of_int k)) in
@@ -159,13 +186,13 @@ let run_e4 () =
             let mem = Sim.Memory.create () in
             let le = make mem ~n:(max k 8) in
             let sched =
-              Sim.Sched.create ~seed:(Int64.of_int seed)
+              Sim.Sched.create ~seed:(derive seed ~stream:0)
                 (Leaderelect.Le.programs le ~k)
             in
             Sim.Sched.run sched
-              (Sim.Adversary.random_crashes ~seed:(Int64.of_int (seed * 7))
+              (Sim.Adversary.random_crashes ~seed:(derive seed ~stream:2)
                  ~crash_prob:0.005
-                 (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 3))));
+                 (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:1)));
             float_of_int (Sim.Sched.max_steps sched))
       in
       let lean = measure Leaderelect.Rr_le.make_lean in
@@ -230,13 +257,13 @@ let run_e6 () =
         let mem = Sim.Memory.create () in
         let le = make mem ~n in
         let sched =
-          Sim.Sched.create ~seed:(Int64.of_int seed)
+          Sim.Sched.create ~seed:(derive seed ~stream:0)
             (Leaderelect.Le.programs le ~k:n)
         in
         Sim.Sched.run sched (adv seed);
         float_of_int (Sim.Sched.max_steps sched))
   in
-  let oblivious seed = Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 31)) in
+  let oblivious seed = Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:1) in
   let attack _ = Leaderelect.Attacks.ascending_location () in
   List.iter
     (fun (name, make) ->
@@ -352,11 +379,11 @@ let run_e9 () =
             let steps =
               avg_runs ~trials:10 (fun seed ->
                   let o =
-                    Rtas.Election.run ~seed:(Int64.of_int seed)
+                    Rtas.Election.run ~seed:(derive seed ~stream:0)
                       ~algorithm:e.Rtas.Registry.name ~n ~k
                       ~adversary:
                         (Sim.Adversary.random_oblivious
-                           ~seed:(Int64.of_int (seed * 31)))
+                           ~seed:(derive seed ~stream:1))
                       ()
                   in
                   float_of_int o.Rtas.Election.max_steps)
@@ -374,10 +401,10 @@ let run_e9 () =
         let steps =
           avg_runs ~trials:10 (fun seed ->
               let o =
-                Rtas.Election.run ~seed:(Int64.of_int seed) ~algorithm:"ratrace"
+                Rtas.Election.run ~seed:(derive seed ~stream:0) ~algorithm:"ratrace"
                   ~n:64 ~k
                   ~adversary:
-                    (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 31)))
+                    (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:1))
                   ()
               in
               float_of_int o.Rtas.Election.max_steps)
@@ -437,7 +464,7 @@ let run_e11 () =
         let mem = Sim.Memory.create () in
         let ge : Groupelect.Ge.t = make mem in
         let sched =
-          Sim.Sched.create ~seed:(Int64.of_int (seed * 13))
+          Sim.Sched.create ~seed:(derive seed ~stream:1)
             (Array.init k (fun _ ctx ->
                  if ge.Groupelect.Ge.elect ctx then 1 else 0))
         in
@@ -457,7 +484,7 @@ let run_e11 () =
   let rows =
     [
       ( "random (oblivious)",
-        fun s -> Sim.Adversary.random_oblivious ~seed:(Int64.of_int (s * 31)) );
+        fun s -> Sim.Adversary.random_oblivious ~seed:(derive s ~stream:1) );
       ("read-priority (loc-obl)", fun _ -> Leaderelect.Attacks.read_priority ());
       ( "ascending-loc (rw-obl)",
         fun _ -> Leaderelect.Attacks.ascending_location_rw () );
@@ -495,12 +522,12 @@ let run_e12 () =
             let mem = Sim.Memory.create () in
             let le = Leaderelect.Le_logstar.create ~cutoff mem ~n in
             let sched =
-              Sim.Sched.create ~seed:(Int64.of_int seed)
+              Sim.Sched.create ~seed:(derive seed ~stream:0)
                 (Array.init n (fun _ ctx ->
                      if Leaderelect.Le_logstar.elect le ctx then 1 else 0))
             in
             Sim.Sched.run sched
-              (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 3)));
+              (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:1));
             regs := Sim.Memory.allocated mem;
             float_of_int (Sim.Sched.max_steps sched))
       in
@@ -546,11 +573,11 @@ let run_e12 () =
               end
             in
             let sched =
-              Sim.Sched.create ~seed:(Int64.of_int seed)
+              Sim.Sched.create ~seed:(derive seed ~stream:0)
                 (Array.init 256 (fun _ ctx -> if elect ctx then 1 else 0))
             in
             Sim.Sched.run sched
-              (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 3)));
+              (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:1));
             regs := Sim.Memory.allocated mem;
             float_of_int (Sim.Sched.max_steps sched))
       in
@@ -590,11 +617,11 @@ let run_e12 () =
               loop 0
             in
             let sched =
-              Sim.Sched.create ~seed:(Int64.of_int seed)
+              Sim.Sched.create ~seed:(derive seed ~stream:0)
                 [| duel 0; duel 1 |]
             in
             Sim.Sched.run sched
-              (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 7)));
+              (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:2));
             float_of_int (Sim.Sched.max_steps sched))
       in
       pr "%10d %16.1f@." thr steps)
@@ -610,26 +637,29 @@ let run_e13 () =
   line ();
   List.iter
     (fun k ->
-      let steps = ref [] in
-      let agreements = ref 0 in
       let trials = 60 in
-      for seed = 1 to trials do
-        let mem = Sim.Memory.create () in
-        let c = Consensus.Consensus_n.create mem ~n:k in
-        let sched =
-          Sim.Sched.create ~seed:(Int64.of_int seed)
-            (Array.init k (fun i ctx ->
-                 Consensus.Consensus_n.propose c ctx (i land 1)))
-        in
-        Sim.Sched.run sched
-          (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 31)));
-        steps := float_of_int (Sim.Sched.max_steps sched) :: !steps;
-        let outs = Array.map Option.get (Sim.Sched.results sched) in
-        if Array.for_all (fun v -> v = outs.(0)) outs then incr agreements
-      done;
-      let s = Sim.Stats.summarize !steps in
+      let per_trial =
+        Engine.run ~domains:!domains ~trials ~seed:base_seed
+          (fun ~trial:_ ~seed ->
+            let mem = Sim.Memory.create () in
+            let c = Consensus.Consensus_n.create mem ~n:k in
+            let sched =
+              Sim.Sched.create ~seed:(derive seed ~stream:0)
+                (Array.init k (fun i ctx ->
+                     Consensus.Consensus_n.propose c ctx (i land 1)))
+            in
+            Sim.Sched.run sched
+              (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:1));
+            let outs = Array.map Option.get (Sim.Sched.results sched) in
+            ( float_of_int (Sim.Sched.max_steps sched),
+              Array.for_all (fun v -> v = outs.(0)) outs ))
+      in
+      let s = Sim.Stats.summarize_array (Array.map fst per_trial) in
+      let agreements =
+        Array.fold_left (fun a (_, ok) -> if ok then a + 1 else a) 0 per_trial
+      in
       pr "%8d %14.1f %14.1f %15d%%@." k s.Sim.Stats.mean s.Sim.Stats.p95
-        (100 * !agreements / trials))
+        (100 * agreements / trials))
     [ 2; 4; 16; 64; 256 ];
   pr
     "@.Agreement must be 100%% at every k (it is deterministic via the@.\
@@ -647,11 +677,11 @@ let run_e14 () =
         let mem = Sim.Memory.create () in
         let le = make mem ~n:256 in
         let sched =
-          Sim.Sched.create ~seed:(Int64.of_int seed)
+          Sim.Sched.create ~seed:(derive seed ~stream:0)
             (Leaderelect.Le.programs le ~k)
         in
         Sim.Sched.run sched
-          (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 31)));
+          (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:1));
         float_of_int (Sim.Sched.max_rmrs sched))
   in
   List.iter
@@ -668,6 +698,46 @@ let run_e14 () =
     "@.RMRs track steps for these one-shot algorithms (few re-reads), so@.\
      the step hierarchy carries over to the RMR cost measure of Golab,@.\
      Hendler and Woelfel's O(1)-RMR leader election [11].@."
+
+(* {1 Perf sweep — the machine-readable speedup benchmark}
+
+   A reduced E1/E2-style workload: each trial runs one Figure-1
+   GroupElect round and one log* election, both at k = 64. Trials
+   return exact integer outcomes so callers can check that different
+   domain counts produce bit-identical per-trial results. *)
+
+let perf_trial ~seed =
+  let n = 512 and k = 64 in
+  let elected =
+    let mem = Sim.Memory.create () in
+    let ge = Groupelect.Ge_logstar.create mem ~n in
+    let sched =
+      Sim.Sched.create ~seed:(derive seed ~stream:0)
+        (Array.init k (fun _ ctx ->
+             if ge.Groupelect.Ge.elect ctx then 1 else 0))
+    in
+    Sim.Sched.run sched
+      (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:1));
+    Array.fold_left
+      (fun a r -> if r = Some 1 then a + 1 else a)
+      0 (Sim.Sched.results sched)
+  in
+  let steps =
+    let mem = Sim.Memory.create () in
+    let le = Leaderelect.Le_logstar.make mem ~n in
+    let sched =
+      Sim.Sched.create ~seed:(derive seed ~stream:2)
+        (Leaderelect.Le.programs le ~k)
+    in
+    Sim.Sched.run sched
+      (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:3));
+    Sim.Sched.max_steps sched
+  in
+  (elected, steps)
+
+let perf_sweep ~domains ~trials () =
+  Engine.run ~domains ~trials ~seed:base_seed (fun ~trial:_ ~seed ->
+      perf_trial ~seed)
 
 let all : (string * string * (unit -> unit)) list =
   [

@@ -1,8 +1,15 @@
 (* Benchmark & experiment driver.
 
-   dune exec bench/main.exe             -- run every experiment table
-   dune exec bench/main.exe -- e5 e8    -- run selected experiments
-   dune exec bench/main.exe -- bechamel -- run the Bechamel microbenches *)
+   dune exec bench/main.exe                         -- every experiment table
+   dune exec bench/main.exe -- e5 e8                -- selected experiments
+   dune exec bench/main.exe -- --domains 4 e1       -- table runs on 4 domains
+   dune exec bench/main.exe -- perf --domains 4     -- parallel speedup bench
+   dune exec bench/main.exe -- bechamel             -- Bechamel microbenches
+
+   Every run that executes experiments or the perf sweep also writes a
+   machine-readable BENCH_results.json (override with --out FILE) so
+   the perf trajectory of the repo can be tracked PR over PR; the
+   schema is documented in EXPERIMENTS.md. *)
 
 open Bechamel
 open Toolkit
@@ -13,7 +20,9 @@ open Toolkit
 let run_election ~algorithm ~n ~k seed =
   ignore
     (Rtas.Election.run ~seed ~algorithm ~n ~k
-       ~adversary:(Sim.Adversary.random_oblivious ~seed:(Int64.mul seed 31L))
+       ~adversary:
+         (Sim.Adversary.random_oblivious
+            ~seed:(Sim.Rng.derive seed ~stream:1))
        ())
 
 let bench_tests =
@@ -120,24 +129,171 @@ let run_bechamel () =
       end)
     merged
 
-let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  match args with
-  | [] ->
-      List.iter (fun (_, _, run) -> run ()) Experiments.all;
-      run_bechamel ()
-  | [ "bechamel" ] -> run_bechamel ()
-  | [ "list" ] ->
-      List.iter (fun (id, doc, _) -> Fmt.pr "%-5s %s@." id doc) Experiments.all;
-      Fmt.pr "%-5s %s@." "bechamel" "Bechamel microbenches"
-  | ids ->
-      List.iter
-        (fun id ->
-          if id = "bechamel" then run_bechamel ()
-          else
-            match List.find_opt (fun (i, _, _) -> i = id) Experiments.all with
-            | Some (_, _, run) -> run ()
+(* {1 BENCH_results.json}
+
+   Hand-rolled emitter (no JSON dependency in the container): the
+   schema is flat and fully under our control; see EXPERIMENTS.md. *)
+
+type sweep_result = {
+  workload : string;
+  sw_trials : int;
+  sw_domains : int;
+  wall_s_domains_1 : float;
+  wall_s : float;
+  bit_identical : bool;
+}
+
+let write_json ~path ~domains ~experiments ~sweep =
+  let buf = Buffer.create 1024 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add "  \"schema_version\": 1,\n";
+  add (Printf.sprintf "  \"domains\": %d,\n" domains);
+  add
+    (Printf.sprintf "  \"recommended_domains\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  add "  \"experiments\": [";
+  List.iteri
+    (fun i (id, wall_s) ->
+      if i > 0 then add ",";
+      add (Printf.sprintf "\n    {\"id\": \"%s\", \"wall_s\": %.6f}" id wall_s))
+    experiments;
+  if experiments <> [] then add "\n  ";
+  add "],\n";
+  (match sweep with
+  | None -> add "  \"parallel_sweep\": null\n"
+  | Some s ->
+      let per_sec wall = float_of_int s.sw_trials /. Float.max wall 1e-9 in
+      add "  \"parallel_sweep\": {\n";
+      add (Printf.sprintf "    \"workload\": \"%s\",\n" s.workload);
+      add (Printf.sprintf "    \"trials\": %d,\n" s.sw_trials);
+      add (Printf.sprintf "    \"domains\": %d,\n" s.sw_domains);
+      add (Printf.sprintf "    \"wall_s_domains_1\": %.6f,\n" s.wall_s_domains_1);
+      add (Printf.sprintf "    \"wall_s\": %.6f,\n" s.wall_s);
+      add
+        (Printf.sprintf "    \"trials_per_sec_domains_1\": %.2f,\n"
+           (per_sec s.wall_s_domains_1));
+      add (Printf.sprintf "    \"trials_per_sec\": %.2f,\n" (per_sec s.wall_s));
+      add
+        (Printf.sprintf "    \"speedup_vs_domains_1\": %.4f,\n"
+           (s.wall_s_domains_1 /. Float.max s.wall_s 1e-9));
+      add
+        (Printf.sprintf "    \"bit_identical\": %b\n" s.bit_identical);
+      add "  }\n");
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "@.wrote %s@." path
+
+(* {1 The perf sweep: wall-clock speedup of the parallel trial engine} *)
+
+let run_perf ~domains ~trials ~out () =
+  Fmt.pr "== Parallel trial engine: reduced E1/E2 sweep, %d trials ==@." trials;
+  let r1, t1 =
+    Engine.timed (fun () -> Experiments.perf_sweep ~domains:1 ~trials ())
+  in
+  Fmt.pr "  domains=1: %.3fs (%.1f trials/s)@." t1 (float_of_int trials /. t1);
+  let rn, tn =
+    Engine.timed (fun () -> Experiments.perf_sweep ~domains ~trials ())
+  in
+  Fmt.pr "  domains=%d: %.3fs (%.1f trials/s)@." domains tn
+    (float_of_int trials /. tn);
+  let bit_identical = r1 = rn in
+  Fmt.pr "  per-trial results bit-identical across domain counts: %b@."
+    bit_identical;
+  Fmt.pr "  speedup vs domains=1: %.2fx@." (t1 /. Float.max tn 1e-9);
+  if not bit_identical then begin
+    Fmt.epr "perf: determinism violation — results differ across domains@.";
+    exit 1
+  end;
+  write_json ~path:out ~domains ~experiments:[]
+    ~sweep:
+      (Some
+         {
+           workload = "e1e2-reduced";
+           sw_trials = trials;
+           sw_domains = domains;
+           wall_s_domains_1 = t1;
+           wall_s = tn;
+           bit_identical;
+         })
+
+let run_tables ~domains ~out ids =
+  Experiments.domains := domains;
+  let chosen =
+    match ids with
+    | [] -> Experiments.all
+    | ids ->
+        List.map
+          (fun id ->
+            match
+              List.find_opt (fun (i, _, _) -> i = id) Experiments.all
+            with
+            | Some e -> e
             | None ->
                 Fmt.epr "unknown experiment %S; try `list`@." id;
                 exit 1)
-        ids
+          ids
+  in
+  let timed =
+    List.map
+      (fun (id, _, run) ->
+        let (), wall = Engine.timed run in
+        (id, wall))
+      chosen
+  in
+  write_json ~path:out ~domains ~experiments:timed ~sweep:None
+
+let usage () =
+  Fmt.pr
+    "usage: main.exe [--domains N] [--out FILE] [ids...]@.\
+    \       main.exe perf [--domains N] [--trials T] [--out FILE]@.\
+    \       main.exe bechamel | list@."
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let domains = ref (Engine.default_domains ()) in
+  let out = ref "BENCH_results.json" in
+  let trials = ref 400 in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--domains" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some d when d >= 1 ->
+            domains := d;
+            parse acc rest
+        | _ ->
+            Fmt.epr "--domains expects a positive integer@.";
+            exit 1)
+    | "--out" :: v :: rest ->
+        out := v;
+        parse acc rest
+    | "--trials" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some t when t >= 1 ->
+            trials := t;
+            parse acc rest
+        | _ ->
+            Fmt.epr "--trials expects a positive integer@.";
+            exit 1)
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | a :: rest -> parse (a :: acc) rest
+  in
+  match parse [] args with
+  | [ "perf" ] -> run_perf ~domains:!domains ~trials:!trials ~out:!out ()
+  | [ "bechamel" ] -> run_bechamel ()
+  | [ "list" ] ->
+      List.iter (fun (id, doc, _) -> Fmt.pr "%-5s %s@." id doc) Experiments.all;
+      Fmt.pr "%-5s %s@." "bechamel" "Bechamel microbenches";
+      Fmt.pr "%-5s %s@." "perf" "Parallel engine speedup sweep (writes JSON)"
+  | [] ->
+      run_tables ~domains:!domains ~out:!out [];
+      run_bechamel ()
+  | ids when List.mem "bechamel" ids ->
+      let tables = List.filter (fun id -> id <> "bechamel") ids in
+      if tables <> [] then run_tables ~domains:!domains ~out:!out tables;
+      run_bechamel ()
+  | ids -> run_tables ~domains:!domains ~out:!out ids

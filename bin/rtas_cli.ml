@@ -32,30 +32,42 @@ let adversary_arg =
 let tas_arg =
   Arg.(value & flag & info [ "tas" ] ~doc:"Wrap the election as a test-and-set.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int (Engine.default_domains ())
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Domains for the parallel trial engine (results are identical \
+           for every value). Defaults to $(b,RTAS_DOMAINS) or the \
+           recommended domain count.")
+
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.")
 
+(* Sub-seeds for the adversary are derived from the run seed on
+   dedicated streams (1 = schedule randomness, 2 = crash randomness),
+   matching the convention used throughout bench/experiments.ml. *)
 let make_adversary name seed =
   match name with
   | "round-robin" -> Sim.Adversary.round_robin ()
-  | "random" -> Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 31))
+  | "random" ->
+      Sim.Adversary.random_oblivious ~seed:(Sim.Rng.derive seed ~stream:1)
   | "attack" -> Leaderelect.Attacks.ascending_location ()
   | "crashy" ->
-      Sim.Adversary.random_crashes ~seed:(Int64.of_int (seed * 17))
+      Sim.Adversary.random_crashes ~seed:(Sim.Rng.derive seed ~stream:2)
         ~crash_prob:0.02
-        (Sim.Adversary.random_oblivious ~seed:(Int64.of_int (seed * 31)))
+        (Sim.Adversary.random_oblivious ~seed:(Sim.Rng.derive seed ~stream:1))
   | other -> failwith (Printf.sprintf "unknown adversary %S" other)
 
 let run_cmd =
   let run algorithm n k seed adversary tas trace =
+    let seed = Int64.of_int seed in
     let adv = make_adversary adversary seed in
     let outcome =
       if tas then
-        Rtas.Election.run_tas ~seed:(Int64.of_int seed) ~adversary:adv
-          ~algorithm ~n ~k ()
-      else
-        Rtas.Election.run ~seed:(Int64.of_int seed) ~adversary:adv ~algorithm
-          ~n ~k ()
+        Rtas.Election.run_tas ~seed ~adversary:adv ~algorithm ~n ~k ()
+      else Rtas.Election.run ~seed ~adversary:adv ~algorithm ~n ~k ()
     in
     Fmt.pr "%a@." Rtas.Election.pp_outcome outcome;
     Fmt.pr "results: %a@."
@@ -90,29 +102,41 @@ let sweep_cmd =
   let trials_arg =
     Arg.(value & opt int 20 & info [ "trials" ] ~docv:"T" ~doc:"Trials per point.")
   in
-  let sweep algorithm n adversary trials =
+  let sweep algorithm n adversary trials seed domains =
     Fmt.pr "%8s %14s %12s %12s@." "k" "avg max steps" "avg rmrs" "registers";
     let rec points k acc = if k > n then List.rev acc else points (k * 4) (k :: acc) in
     List.iter
       (fun k ->
-        let steps = ref [] and rmrs = ref [] and regs = ref 0 in
-        for seed = 1 to trials do
-          let o =
-            Rtas.Election.run ~seed:(Int64.of_int seed)
-              ~adversary:(make_adversary adversary seed) ~algorithm ~n ~k ()
-          in
-          steps := float_of_int o.Rtas.Election.max_steps :: !steps;
-          rmrs := float_of_int o.Rtas.Election.max_rmrs :: !rmrs;
-          regs := o.Rtas.Election.registers
-        done;
-        Fmt.pr "%8d %14.1f %12.1f %12d@." k (Sim.Stats.mean !steps)
-          (Sim.Stats.mean !rmrs) !regs)
+        (* Trials per point are independent: fan out over the engine.
+           Trial seeds derive from the sweep seed, so the table is
+           identical for every --domains value. *)
+        let runs =
+          Engine.run ~domains ~trials ~seed:(Int64.of_int seed)
+            (fun ~trial:_ ~seed ->
+              let o =
+                Rtas.Election.run ~seed
+                  ~adversary:(make_adversary adversary seed) ~algorithm ~n ~k
+                  ()
+              in
+              ( float_of_int o.Rtas.Election.max_steps,
+                float_of_int o.Rtas.Election.max_rmrs,
+                o.Rtas.Election.registers ))
+        in
+        let steps = Array.map (fun (s, _, _) -> s) runs in
+        let rmrs = Array.map (fun (_, r, _) -> r) runs in
+        let regs = if trials = 0 then 0 else (fun (_, _, g) -> g) runs.(0) in
+        Fmt.pr "%8d %14.1f %12.1f %12d@." k
+          (Sim.Stats.mean_array steps)
+          (Sim.Stats.mean_array rmrs)
+          regs)
       (points 2 [])
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Sweep contention k and print step/RMR complexity curves.")
-    Term.(const sweep $ algorithm $ n_arg $ adversary_arg $ trials_arg)
+    Term.(
+      const sweep $ algorithm $ n_arg $ adversary_arg $ trials_arg $ seed_arg
+      $ domains_arg)
 
 let covering_cmd =
   let covering n =
@@ -219,7 +243,8 @@ let chaos_cmd =
              $(b,crash:0@3,storm:0.05,halt@400). Only applies to the \
              simulated sweep.")
   in
-  let chaos algorithms n k seed probs trials timeout retries le mc plan_str =
+  let chaos algorithms n k seed probs trials timeout retries le mc plan_str
+      domains =
     let plan =
       match plan_str with
       | None -> None
@@ -244,8 +269,8 @@ let chaos_cmd =
         List.iter
           (fun crash_prob ->
             let r =
-              Fault.Chaos.run_point ~timeout ~retries ?plan ~mode ~algorithm
-                ~n ~k ~crash_prob ~trials ~seed:seed64 ()
+              Fault.Chaos.run_point ~timeout ~retries ~domains ?plan ~mode
+                ~algorithm ~n ~k ~crash_prob ~trials ~seed:seed64 ()
             in
             Fmt.pr "%a@." Fault.Chaos.pp_report r;
             note r.Fault.Chaos.impl r.Fault.Chaos.failure_seeds
@@ -284,7 +309,8 @@ let chaos_cmd =
           storms and check unique-winner + crash-aware linearizability.")
     Term.(
       const chaos $ algorithms_arg $ n_arg $ k_arg $ seed_arg $ probs_arg
-      $ trials_arg $ timeout_arg $ retries_arg $ le_flag $ mc_flag $ plan_arg)
+      $ trials_arg $ timeout_arg $ retries_arg $ le_flag $ mc_flag $ plan_arg
+      $ domains_arg)
 
 let main =
   Cmd.group

@@ -1,0 +1,153 @@
+(* Parallel trial engine: a domain-pool runner with chunked work
+   distribution and deterministic per-trial seed derivation.
+
+   Determinism contract: trial [t] of a batch seeded with [seed] always
+   runs with the derived seed [Sim.Rng.derive seed ~stream:t], and results
+   land in slot [t] of the result array, so the output is bit-identical
+   no matter how many domains execute the batch (including 1) or how
+   the dynamic chunking interleaves. Aggregation folds that array in
+   trial order (or merges per-chunk accumulators in chunk order), which
+   keeps every reduction deterministic as well. *)
+
+let default_domains () =
+  match Sys.getenv_opt "RTAS_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let resolve_domains = function
+  | Some d when d >= 1 -> d
+  | Some _ -> invalid_arg "Engine: domains must be >= 1"
+  | None -> default_domains ()
+
+(* Dynamic chunked distribution over [0, trials): workers repeatedly
+   grab the next chunk of indices from a shared atomic cursor. Chunks
+   amortise the cursor contention; the default aims for ~8 chunks per
+   domain so stragglers still balance. *)
+let chunk_size ~chunk ~domains ~trials =
+  match chunk with
+  | Some c when c >= 1 -> c
+  | Some _ -> invalid_arg "Engine: chunk must be >= 1"
+  | None -> max 1 (trials / (domains * 8))
+
+let run_into ~domains ~chunk ~trials one =
+  if trials < 0 then invalid_arg "Engine.run: trials must be >= 0";
+  if domains = 1 || trials <= 1 then
+    for t = 0 to trials - 1 do
+      one t
+    done
+  else begin
+    let chunk = chunk_size ~chunk ~domains ~trials in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let lo = Atomic.fetch_and_add cursor chunk in
+        if lo >= trials then continue := false
+        else
+          for t = lo to min trials (lo + chunk) - 1 do
+            one t
+          done
+      done
+    in
+    let helpers =
+      Array.init (min domains trials - 1) (fun _ -> Domain.spawn worker)
+    in
+    let main_exn = (try worker (); None with e -> Some e) in
+    (* Always join every helper; re-raise the first failure observed. *)
+    let helper_exn =
+      Array.fold_left
+        (fun acc d ->
+          match (try Domain.join d; None with e -> Some e) with
+          | Some _ as e when acc = None -> e
+          | _ -> acc)
+        None helpers
+    in
+    match (main_exn, helper_exn) with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ()
+  end
+
+let run ?domains ?chunk ~trials ~seed f =
+  let domains = resolve_domains domains in
+  let results = Array.make trials None in
+  run_into ~domains ~chunk ~trials (fun t ->
+      results.(t) <- Some (f ~trial:t ~seed:(Sim.Rng.derive seed ~stream:t)));
+  Array.map
+    (function Some v -> v | None -> assert false (* every slot filled *))
+    results
+
+let fold ?domains ?chunk ~trials ~seed ~init ~add f =
+  Array.fold_left add init (run ?domains ?chunk ~trials ~seed f)
+
+type ('a, 'acc) reducer = {
+  empty : unit -> 'acc;
+  add : 'acc -> 'a -> 'acc;
+  merge : 'acc -> 'acc -> 'acc;
+}
+
+let reduce ?domains ?chunk ~trials ~seed ~reducer f =
+  let domains = resolve_domains domains in
+  let chunk = chunk_size ~chunk ~domains ~trials in
+  (* Chunk boundaries depend only on [trials] and [chunk], never on
+     which domain claimed the chunk, so merging the per-chunk
+     accumulators left-to-right is deterministic. *)
+  let chunks = (trials + chunk - 1) / chunk in
+  let accs = Array.init chunks (fun _ -> None) in
+  let one t =
+    let ci = t / chunk in
+    let acc = match accs.(ci) with None -> reducer.empty () | Some a -> a in
+    accs.(ci) <- Some (reducer.add acc (f ~trial:t ~seed:(Sim.Rng.derive seed ~stream:t)))
+  in
+  run_into ~domains ~chunk:(Some chunk) ~trials one;
+  Array.fold_left
+    (fun acc slot ->
+      match slot with None -> acc | Some a -> reducer.merge acc a)
+    (reducer.empty ()) accs
+
+let mean ?domains ?chunk ~trials ~seed f =
+  if trials <= 0 then invalid_arg "Engine.mean: trials must be >= 1";
+  let sum =
+    fold ?domains ?chunk ~trials ~seed ~init:0.0 ~add:( +. ) f
+  in
+  sum /. float_of_int trials
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* {1 Parallel bounded exploration}
+
+   Fans [Sim.Explore]'s DFS out over the independent subtrees of the
+   first choice point: the prefix execution runs once (the probe), then
+   each child prefix [c] is a self-contained DFS that any domain can
+   own. Per-path tail-seed derivation in [Sim.Explore] makes the union
+   of the subtree enumerations identical to the sequential search. *)
+let explore ?domains ?(max_paths = 2_000_000) ?(seed = 0xE8920AL)
+    ?(max_crashes = 0) ?(max_total_steps = 10_000_000) ~depth ~programs ~check
+    () =
+  let domains = resolve_domains domains in
+  if domains = 1 then
+    Sim.Explore.explore ~max_paths ~seed ~max_crashes ~max_total_steps ~depth
+      ~programs ~check ()
+  else
+    match
+      Sim.Explore.probe ~seed ~max_crashes ~max_total_steps ~depth ~programs
+        ~check ()
+    with
+    | None -> 1
+    | Some arity ->
+        (* Budget split: each subtree may spend an equal share of the
+           remaining path budget. When the budget binds, the sequential
+           search spends it depth-first instead, so counts can differ —
+           exhaustive (non-truncated) searches are identical. *)
+        let budget = max 1 ((max_paths - 1) / arity) in
+        let counts =
+          run ~domains ~trials:arity ~seed (fun ~trial:c ~seed:_ ->
+              Sim.Explore.explore ~max_paths:budget ~seed ~max_crashes
+                ~max_total_steps ~prefix:[| c |] ~depth ~programs ~check ())
+        in
+        1 + Array.fold_left ( + ) 0 counts

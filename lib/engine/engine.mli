@@ -1,0 +1,104 @@
+(** Parallel trial engine: run batches of independent simulated trials
+    across OCaml 5 domains with bit-identical results regardless of the
+    domain count.
+
+    {2 Determinism contract}
+
+    Trial [t] of a batch seeded with [seed] always executes with the
+    derived seed [Sim.Rng.derive seed ~stream:t] and deposits its result
+    in slot [t]; the chunked work distribution only decides {e which
+    domain} runs a trial, never {e what} the trial computes. Hence
+    [run ~domains:1] and [run ~domains:8] return equal arrays, and every
+    aggregation below — an in-order fold, or per-chunk accumulators
+    merged in chunk order — is equally domain-count-independent. Trial
+    bodies must not share mutable state (each should build its own
+    [Sim.Memory.t], scheduler, etc., as the experiment harnesses do). *)
+
+val default_domains : unit -> int
+(** [RTAS_DOMAINS] from the environment if set to a positive integer,
+    else [Domain.recommended_domain_count ()]. *)
+
+val run :
+  ?domains:int ->
+  ?chunk:int ->
+  trials:int ->
+  seed:int64 ->
+  (trial:int -> seed:int64 -> 'a) ->
+  'a array
+(** [run ~trials ~seed f] evaluates [f ~trial:t ~seed:(derive seed t)]
+    for [t] in [\[0, trials)] on a pool of [domains] domains (default
+    {!default_domains}; [1] runs inline without spawning) and returns
+    the per-trial results in trial order. Work is handed out in chunks
+    of [chunk] trials (default: ~8 chunks per domain). An exception in
+    any trial is re-raised after all domains are joined. *)
+
+val fold :
+  ?domains:int ->
+  ?chunk:int ->
+  trials:int ->
+  seed:int64 ->
+  init:'b ->
+  add:('b -> 'a -> 'b) ->
+  (trial:int -> seed:int64 -> 'a) ->
+  'b
+(** {!run}, then fold the result array left-to-right: deterministic for
+    any [add]. *)
+
+type ('a, 'acc) reducer = {
+  empty : unit -> 'acc;
+  add : 'acc -> 'a -> 'acc;
+  merge : 'acc -> 'acc -> 'acc;
+}
+(** A mergeable accumulator. [merge] must be associative with [empty ()]
+    as identity for the reduction to be meaningful; it need {e not} be
+    commutative — accumulators are merged in chunk order. *)
+
+val reduce :
+  ?domains:int ->
+  ?chunk:int ->
+  trials:int ->
+  seed:int64 ->
+  reducer:('a, 'acc) reducer ->
+  (trial:int -> seed:int64 -> 'a) ->
+  'acc
+(** Like {!fold} but without materialising the per-trial array: each
+    chunk folds into its own accumulator as its trials complete, and the
+    per-chunk accumulators are merged left-to-right at the end. Chunk
+    boundaries depend only on [trials] and [chunk], so the result is
+    bit-identical for any domain count. *)
+
+val mean :
+  ?domains:int ->
+  ?chunk:int ->
+  trials:int ->
+  seed:int64 ->
+  (trial:int -> seed:int64 -> float) ->
+  float
+(** Arithmetic mean of a float-valued batch (in trial order). Raises
+    [Invalid_argument] when [trials <= 0]. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] is [(f (), wall-clock seconds it took)]. *)
+
+val explore :
+  ?domains:int ->
+  ?max_paths:int ->
+  ?seed:int64 ->
+  ?max_crashes:int ->
+  ?max_total_steps:int ->
+  depth:int ->
+  programs:(unit -> (Sim.Ctx.t -> int) array) ->
+  check:(Sim.Sched.t -> unit) ->
+  unit ->
+  int
+(** Parallel {!Sim.Explore.explore}: the empty-prefix execution is
+    probed once, then the independent subtrees of the first choice point
+    fan out over the domain pool, each enumerated by the sequential DFS
+    restricted to its prefix. Because tail randomness is derived from
+    the path, the set of executions (and the returned count) matches the
+    sequential search whenever [max_paths] does not truncate it; when it
+    does, the budget is split evenly across subtrees instead of being
+    spent depth-first. [check] runs concurrently on several domains:
+    it must only touch the scheduler it is handed (or synchronise its
+    own shared state). An exception raised by [check] aborts the search
+    and is re-raised. *)

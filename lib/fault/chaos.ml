@@ -56,7 +56,7 @@ let check_le_outcome sched =
    TAS mode) crash-aware linearizability. *)
 let trial ?plan ~mode ~algorithm ~n ~k ~crash_prob ~seed () =
   let base =
-    Sim.Adversary.random_oblivious ~seed:(Int64.add (Int64.mul seed 31L) 7L)
+    Sim.Adversary.random_oblivious ~seed:(Sim.Rng.derive seed ~stream:1)
   in
   let actions =
     match plan with
@@ -77,34 +77,44 @@ let trial ?plan ~mode ~algorithm ~n ~k ~crash_prob ~seed () =
   in
   (count_crashed sched, Sim.Sched.time sched, violation)
 
-let run_point ?(timeout = 5.0) ?(retries = 2) ?plan ~mode ~algorithm ~n ~k
-    ~crash_prob ~trials ~seed () =
-  let seeds = Sim.Rng.create seed in
+let run_point ?(timeout = 5.0) ?(retries = 2) ?(domains = 1) ?plan ~mode
+    ~algorithm ~n ~k ~crash_prob ~trials ~seed () =
+  (* Trials are independent — fan them out over the engine. Trial [t]
+     always runs with [Rng.derive seed ~stream:t], and the watchdog
+     outcomes are folded below in trial order, so the report (including
+     [failure_seeds]) is identical for every domain count. *)
+  let outcomes =
+    Engine.run ~domains ~trials ~seed (fun ~trial:_ ~seed:trial_seed ->
+        Watchdog.run ~timeout ~retries ~seed:trial_seed (fun ~seed ->
+            trial ?plan ~mode ~algorithm ~n ~k ~crash_prob ~seed ()))
+  in
   let crashes = ref 0 in
   let violations = ref 0 in
   let timeouts = ref 0 in
   let failure_seeds = ref [] in
   let max_elapsed = ref 0.0 in
   let total_steps = ref 0 in
-  for _ = 1 to trials do
-    let trial_seed = Sim.Rng.next seeds in
-    match
-      Watchdog.run ~timeout ~retries ~seed:trial_seed (fun ~seed ->
-          trial ?plan ~mode ~algorithm ~n ~k ~crash_prob ~seed ())
-    with
-    | Ok { value = c, steps, violation; seed_used; elapsed; _ } ->
-        crashes := !crashes + c;
-        total_steps := !total_steps + steps;
-        if elapsed > !max_elapsed then max_elapsed := elapsed;
-        (match violation with
-        | Some _ ->
-            incr violations;
-            failure_seeds := seed_used :: !failure_seeds
-        | None -> ())
-    | Error f ->
-        incr timeouts;
-        failure_seeds := f.Watchdog.seeds_tried @ !failure_seeds
-  done;
+  Array.iter
+    (function
+      | Ok
+          {
+            Watchdog.value = c, steps, violation;
+            seed_used;
+            elapsed;
+            _;
+          } ->
+          crashes := !crashes + c;
+          total_steps := !total_steps + steps;
+          if elapsed > !max_elapsed then max_elapsed := elapsed;
+          (match violation with
+          | Some _ ->
+              incr violations;
+              failure_seeds := seed_used :: !failure_seeds
+          | None -> ())
+      | Error f ->
+          incr timeouts;
+          failure_seeds := f.Watchdog.seeds_tried @ !failure_seeds)
+    outcomes;
   {
     impl = algorithm;
     mode;
@@ -120,14 +130,14 @@ let run_point ?(timeout = 5.0) ?(retries = 2) ?plan ~mode ~algorithm ~n ~k
        else float_of_int !total_steps /. float_of_int trials);
   }
 
-let sweep ?(timeout = 5.0) ?(retries = 2) ?plan ?(mode = Tas) ~algorithms ~n
-    ~k ~probs ~trials ~seed () =
+let sweep ?(timeout = 5.0) ?(retries = 2) ?(domains = 1) ?plan ?(mode = Tas)
+    ~algorithms ~n ~k ~probs ~trials ~seed () =
   List.concat_map
     (fun algorithm ->
       List.map
         (fun crash_prob ->
-          run_point ~timeout ~retries ?plan ~mode ~algorithm ~n ~k ~crash_prob
-            ~trials ~seed ())
+          run_point ~timeout ~retries ~domains ?plan ~mode ~algorithm ~n ~k
+            ~crash_prob ~trials ~seed ())
         probs)
     algorithms
 

@@ -37,6 +37,7 @@ val check_le_outcome : Sim.Sched.t -> string option
 val run_point :
   ?timeout:float ->
   ?retries:int ->
+  ?domains:int ->
   ?plan:Plan.t ->
   mode:mode ->
   algorithm:string ->
@@ -52,11 +53,15 @@ val run_point :
     {!Plan.Storm} of that probability (budget [n-1]) and applies the
     mode's safety check. [plan] overrides the default storm with an
     explicit fault plan (the [crash_prob] then only labels the report;
-    the plan's own actions decide the faults). *)
+    the plan's own actions decide the faults). Trial [t] runs with
+    [Sim.Rng.derive seed ~stream:t] on a pool of [domains] (default 1)
+    domains via {!Engine.run}; the report, including [failure_seeds],
+    is identical for every domain count. *)
 
 val sweep :
   ?timeout:float ->
   ?retries:int ->
+  ?domains:int ->
   ?plan:Plan.t ->
   ?mode:mode ->
   algorithms:string list ->

@@ -99,7 +99,8 @@ let written_registers ~make ~n ~seed =
   let sched =
     Sim.Sched.create ~seed ~record_trace:true (Leaderelect.Le.programs le ~k:n)
   in
-  Sim.Sched.run sched (Sim.Adversary.random_oblivious ~seed:(Int64.add seed 77L));
+  Sim.Sched.run sched
+    (Sim.Adversary.random_oblivious ~seed:(Sim.Rng.derive seed ~stream:1));
   let written = Hashtbl.create 64 in
   List.iter
     (function

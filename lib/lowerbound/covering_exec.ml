@@ -27,10 +27,12 @@ end
 let run ?(target_cover = 4) ?(max_rounds = 1_000_000) ~make ~n ~seed () =
   let mem = Sim.Memory.create () in
   let le = make mem ~n in
-  (* Fixed nondeterminism: a deterministic per-process coin stream. *)
+  (* Fixed nondeterminism: a deterministic per-process coin stream.
+     Streams 0 and 1 of the run seed belong to the scheduler and the
+     adversary, so process coins start at stream 2. *)
   let streams =
     Array.init n (fun pid ->
-        Sim.Rng.create (Int64.add seed (Int64.of_int ((pid * 2654435761) + 97))))
+        Sim.Rng.create (Sim.Rng.derive seed ~stream:(pid + 2)))
   in
   let oracle ~pid ~bound =
     if bound < 0 then Some (Sim.Rng.geometric_capped streams.(pid) (-bound))

@@ -78,13 +78,21 @@ let run_path ~tail_seed ~depth ~max_crashes ~max_total_steps ~programs
   in
   (sched, outcome, !branch)
 
-(* DFS over choice prefixes. [on_execution] sees every completed run
-   (with the run's own outcome) and may raise to abort the search. *)
-let dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~programs
+(* The tail seed (randomness beyond the controlled prefix) is a pure
+   function of the path, not of DFS visit order: subtrees can then be
+   enumerated in any order — or on parallel domains — and every path
+   still executes bit-identically. *)
+let tail_seed_of seed path =
+  Array.fold_left (fun s c -> Rng.derive s ~stream:c) seed path
+
+(* DFS over choice prefixes, restricted to extensions of [prefix] (the
+   prefix execution itself included). [on_execution] sees every
+   completed run (with the run's own outcome) and may raise to abort the
+   search. *)
+let dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~prefix ~programs
     ~on_execution =
-  let tail_rng = Rng.create seed in
   let count = ref 0 in
-  let stack = ref [ [||] ] in
+  let stack = ref [ prefix ] in
   let rec loop () =
     match !stack with
     | [] -> ()
@@ -92,7 +100,7 @@ let dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~programs
         stack := rest;
         if !count < max_paths then begin
           let sched, outcome, branch =
-            run_path ~tail_seed:(Rng.next tail_rng) ~depth ~max_crashes
+            run_path ~tail_seed:(tail_seed_of seed path) ~depth ~max_crashes
               ~max_total_steps ~programs path
           in
           incr count;
@@ -110,10 +118,21 @@ let dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~programs
   !count
 
 let explore ?(max_paths = 2_000_000) ?(seed = 0xE8920AL) ?(max_crashes = 0)
-    ?(max_total_steps = 10_000_000) ~depth ~programs ~check () =
-  dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~programs
+    ?(max_total_steps = 10_000_000) ?(prefix = [||]) ~depth ~programs ~check ()
+    =
+  dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~prefix ~programs
     ~on_execution:(fun ~path:_ ~sched ~outcome ->
       match outcome with Ok () -> check sched | Error e -> raise e)
+
+let probe ?(seed = 0xE8920AL) ?(max_crashes = 0)
+    ?(max_total_steps = 10_000_000) ?(prefix = [||]) ~depth ~programs ~check ()
+    =
+  let sched, outcome, branch =
+    run_path ~tail_seed:(tail_seed_of seed prefix) ~depth ~max_crashes
+      ~max_total_steps ~programs prefix
+  in
+  (match outcome with Ok () -> check sched | Error e -> raise e);
+  branch
 
 type violation = {
   path : int array;
@@ -130,8 +149,8 @@ let find_violation ?(max_paths = 2_000_000) ?(seed = 0xE8920AL)
   let attempt path =
     match
       let sched, outcome, _ =
-        run_path ~tail_seed:seed ~depth ~max_crashes ~max_total_steps ~programs
-          path
+        run_path ~tail_seed:(tail_seed_of seed path) ~depth ~max_crashes
+          ~max_total_steps ~programs path
       in
       (match outcome with Ok () -> () | Error e -> raise e);
       check sched
@@ -140,7 +159,8 @@ let find_violation ?(max_paths = 2_000_000) ?(seed = 0xE8920AL)
     | exception e -> Some (Printexc.to_string e)
   in
   match
-    dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~programs
+    dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~prefix:[||]
+      ~programs
       ~on_execution:(fun ~path ~sched ~outcome ->
         incr executions;
         match
@@ -179,8 +199,8 @@ let find_violation ?(max_paths = 2_000_000) ?(seed = 0xE8920AL)
 let replay ?(seed = 0xE8920AL) ?(max_crashes = 0)
     ?(max_total_steps = 10_000_000) ~path ~programs () =
   let sched, outcome, _ =
-    run_path ~tail_seed:seed ~depth:0 ~max_crashes ~max_total_steps ~programs
-      path
+    run_path ~tail_seed:(tail_seed_of seed path) ~depth:0 ~max_crashes
+      ~max_total_steps ~programs path
   in
   (match outcome with Ok () -> () | Error e -> raise e);
   sched

@@ -29,6 +29,14 @@
     helper) should pass a small bound so divergent executions fail
     fast — {!find_violation} reports such a failed run as a violation.
 
+    Subtree restriction: with [prefix = [|c0; ...|]] the DFS enumerates
+    only the extensions of that choice prefix (the prefix execution
+    itself included), which is how independent subtrees of the search
+    space are handed to parallel workers (see [Engine.explore]). The
+    randomness beyond the controlled prefix is derived from the path
+    itself (not from enumeration order), so every path executes
+    bit-identically no matter how the subtrees are partitioned.
+
     Returns the number of executions checked. *)
 
 val explore :
@@ -36,11 +44,29 @@ val explore :
   ?seed:int64 ->
   ?max_crashes:int ->
   ?max_total_steps:int ->
+  ?prefix:int array ->
   depth:int ->
   programs:(unit -> (Ctx.t -> int) array) ->
   check:(Sched.t -> unit) ->
   unit ->
   int
+
+val probe :
+  ?seed:int64 ->
+  ?max_crashes:int ->
+  ?max_total_steps:int ->
+  ?prefix:int array ->
+  depth:int ->
+  programs:(unit -> (Ctx.t -> int) array) ->
+  check:(Sched.t -> unit) ->
+  unit ->
+  int option
+(** Run the single execution at [prefix] (default the empty prefix),
+    apply [check] to it, and return the (capped) arity of the frontier
+    choice point at index [length prefix] — i.e. how many child subtrees
+    the prefix has within [depth] — or [None] when the execution ends
+    before another controlled choice. The building block for fanning an
+    exploration out over subtrees. *)
 
 type violation = {
   path : int array;  (** Choice prefix that reproduces the failure. *)

@@ -17,6 +17,17 @@ let next t =
 
 let split t = create (next t)
 
+(* Splitmix-style stream derivation: feed the stream index through the
+   output mixer before combining, so nearby streams (0, 1, 2, ...) land
+   in unrelated regions of the state space. Unlike the collision-prone
+   [seed * c] idiom this is injective in [stream] for a fixed [seed] and
+   avalanches in both arguments. *)
+let derive seed ~stream =
+  mix
+    (Int64.add
+       (Int64.logxor seed (mix (Int64.of_int stream)))
+       golden_gamma)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   let mask = Int64.of_int max_int in

@@ -17,6 +17,16 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator seeded from it,
     suitable for an independent sub-stream. *)
 
+val derive : int64 -> stream:int -> int64
+(** [derive seed ~stream] deterministically mints the seed of an
+    independent sub-stream: the same [(seed, stream)] pair always yields
+    the same sub-seed, distinct [stream] values yield distinct sub-seeds
+    (injective for a fixed [seed]), and the splitmix finalizer decouples
+    nearby inputs. This is the repo-wide replacement for ad-hoc
+    [seed * 7]-style sub-seed arithmetic: use stream 0, 1, 2, ... for
+    the scheduler, the adversary, fault injection, and so on, and
+    [derive seed ~stream:trial] for per-trial seeds in a batch. *)
+
 val next : t -> int64
 (** Next raw 64-bit output. *)
 

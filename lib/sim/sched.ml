@@ -34,11 +34,18 @@ type adversary = {
   decide : view -> decision;
 }
 
+(* A process suspended at its pending shared-memory operation: the
+   effect continuation plus the operation descriptor, in one block.
+   [step] performs the operation and resumes the continuation directly,
+   so no per-operation resume closure is ever allocated. *)
+type susp =
+  | Blocked_read of Register.t * (int, unit) Effect.Deep.continuation
+  | Blocked_write of Register.t * int * (unit, unit) Effect.Deep.continuation
+
 type proc = {
   pid : int;
   mutable p_status : status;
-  mutable p_pending : Op.pending option;
-  mutable p_resume : (unit -> unit) option;
+  mutable p_susp : susp option;
   mutable p_steps : int;
   mutable p_flips : int;
   mutable p_rmrs : int;
@@ -53,41 +60,44 @@ type t = {
   record_trace : bool;
   mutable events : Op.event list;  (* reversed *)
   flip_oracle : (pid:int -> bound:int -> int option) option;
-  (* Cache-coherence bookkeeping for RMR accounting: which processes
-     hold a valid cached copy of each register (by register id). *)
-  caches : (int, unit) Hashtbl.t array option ref;
+  (* Cache-coherence bookkeeping for RMR accounting: per register (by
+     allocation id) a bitset over pids of the processes holding a valid
+     cached copy. Flat bytes instead of hashtables: the pid universe is
+     fixed at [create], so membership is a bit test. *)
+  mutable caches : Bytes.t array;
+  cache_len : int;  (* bytes per register bitset: ceil(nprocs / 8) *)
+  (* [runnable] is recomputed only when some process stops running. *)
+  mutable n_running : int;
+  mutable runnable_cache : int array option;
 }
 
 (* [caches] is sized lazily by the largest register id seen. *)
-let cache_tbl t reg_id =
-  let ensure size =
-    let cur = match !(t.caches) with None -> 0 | Some a -> Array.length a in
-    if size > cur then begin
-      let a = Array.init size (fun i ->
-          match !(t.caches) with
-          | Some old when i < Array.length old -> old.(i)
-          | _ -> Hashtbl.create 4)
-      in
-      t.caches := Some a
-    end
-  in
-  ensure (reg_id + 1);
-  (Option.get !(t.caches)).(reg_id)
+let cache_bits t reg_id =
+  let cur = Array.length t.caches in
+  if reg_id >= cur then begin
+    let len = max (reg_id + 1) (max 8 (2 * cur)) in
+    t.caches <-
+      Array.init len (fun i ->
+          if i < cur then t.caches.(i) else Bytes.make t.cache_len '\000')
+  end;
+  t.caches.(reg_id)
 
 (* CC-model RMR accounting: a read is local iff the reader holds a valid
    cached copy; it caches the register. A write always counts as an RMR
    and invalidates every other copy. *)
 let account_read t p reg_id =
-  let tbl = cache_tbl t reg_id in
-  if not (Hashtbl.mem tbl p.pid) then begin
+  let bits = cache_bits t reg_id in
+  let byte = p.pid lsr 3 and mask = 1 lsl (p.pid land 7) in
+  let b = Char.code (Bytes.unsafe_get bits byte) in
+  if b land mask = 0 then begin
     p.p_rmrs <- p.p_rmrs + 1;
-    Hashtbl.replace tbl p.pid ()
+    Bytes.unsafe_set bits byte (Char.unsafe_chr (b lor mask))
   end
 
 let account_write t p reg_id =
-  let tbl = cache_tbl t reg_id in
-  Hashtbl.reset tbl;
-  Hashtbl.replace tbl p.pid ();
+  let bits = cache_bits t reg_id in
+  Bytes.fill bits 0 t.cache_len '\000';
+  Bytes.unsafe_set bits (p.pid lsr 3) (Char.unsafe_chr (1 lsl (p.pid land 7)));
   p.p_rmrs <- p.p_rmrs + 1
 
 let draw t pid bound =
@@ -99,80 +109,46 @@ let draw t pid bound =
   | None ->
       if bound < 0 then Rng.geometric_capped t.rng (-bound) else Rng.int t.rng bound
 
-let add_event t e = if t.record_trace then t.events <- e :: t.events
+let stopped_running t =
+  t.n_running <- t.n_running - 1;
+  t.runnable_cache <- None
 
 let start t p (body : Ctx.t -> int) =
   let open Effect.Deep in
   let ctx = Ctx.make ~pid:p.pid in
   let retc result =
     p.p_status <- Finished result;
-    p.p_pending <- None;
-    p.p_resume <- None;
+    p.p_susp <- None;
     p.p_finish <- t.s_time;
-    add_event t (Op.Finish { time = t.s_time; pid = p.pid; result })
+    stopped_running t;
+    if t.record_trace then
+      t.events <- Op.Finish { time = t.s_time; pid = p.pid; result } :: t.events
   in
   let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
     fun eff ->
     match eff with
-    | Ctx.Read_eff r ->
-        Some
-          (fun k ->
-            p.p_pending <- Some { Op.reg = r; kind = Op.Read };
-            p.p_resume <-
-              Some
-                (fun () ->
-                  p.p_pending <- None;
-                  account_read t p r.Register.id;
-                  let v = Register.read r in
-                  add_event t
-                    (Op.Step
-                       {
-                         time = t.s_time;
-                         pid = p.pid;
-                         reg = r.Register.id;
-                         reg_name = r.Register.name;
-                         kind = Op.Read;
-                         read_value = Some v;
-                         seen_writer = r.Register.last_writer;
-                       });
-                  continue k v))
+    | Ctx.Read_eff r -> Some (fun k -> p.p_susp <- Some (Blocked_read (r, k)))
     | Ctx.Write_eff (r, v) ->
-        Some
-          (fun k ->
-            p.p_pending <- Some { Op.reg = r; kind = Op.Write v };
-            p.p_resume <-
-              Some
-                (fun () ->
-                  p.p_pending <- None;
-                  account_write t p r.Register.id;
-                  Register.write r ~writer:p.pid v;
-                  add_event t
-                    (Op.Step
-                       {
-                         time = t.s_time;
-                         pid = p.pid;
-                         reg = r.Register.id;
-                         reg_name = r.Register.name;
-                         kind = Op.Write v;
-                         read_value = None;
-                         seen_writer = -1;
-                       });
-                  continue k ()))
+        Some (fun k -> p.p_susp <- Some (Blocked_write (r, v, k)))
     | Ctx.Flip_eff bound ->
         Some
           (fun k ->
             let outcome = draw t p.pid bound in
             p.p_flips <- p.p_flips + 1;
-            add_event t
-              (Op.Flip { time = t.s_time; pid = p.pid; bound; outcome });
+            if t.record_trace then
+              t.events <-
+                Op.Flip { time = t.s_time; pid = p.pid; bound; outcome }
+                :: t.events;
             continue k outcome)
     | Ctx.Flip_geom_eff l ->
         Some
           (fun k ->
             let outcome = draw t p.pid (-l) in
             p.p_flips <- p.p_flips + 1;
-            add_event t
-              (Op.Flip { time = t.s_time; pid = p.pid; bound = -l; outcome });
+            if t.record_trace then
+              t.events <-
+                Op.Flip { time = t.s_time; pid = p.pid; bound = -l; outcome }
+                :: t.events;
             continue k outcome)
     | _ -> None
   in
@@ -186,8 +162,7 @@ let create ?(seed = 0x5EEDL) ?(record_trace = false) ?flip_oracle programs =
         {
           pid;
           p_status = Running;
-          p_pending = None;
-          p_resume = None;
+          p_susp = None;
           p_steps = 0;
           p_flips = 0;
           p_rmrs = 0;
@@ -204,7 +179,10 @@ let create ?(seed = 0x5EEDL) ?(record_trace = false) ?flip_oracle programs =
       record_trace;
       events = [];
       flip_oracle;
-      caches = ref None;
+      caches = [||];
+      cache_len = (Array.length programs + 7) / 8;
+      n_running = Array.length programs;
+      runnable_cache = None;
     }
   in
   Array.iteri (fun pid body -> start t procs.(pid) body) programs;
@@ -219,7 +197,13 @@ let rmrs t pid = t.procs.(pid).p_rmrs
 
 let max_rmrs t =
   Array.fold_left (fun acc p -> max acc p.p_rmrs) 0 t.procs
-let pending t pid = t.procs.(pid).p_pending
+
+let pending t pid =
+  match t.procs.(pid).p_susp with
+  | None -> None
+  | Some (Blocked_read (reg, _)) -> Some { Op.reg; kind = Op.Read }
+  | Some (Blocked_write (reg, v, _)) -> Some { Op.reg; kind = Op.Write v }
+
 let first_step_time t pid = t.procs.(pid).p_first_step
 let finish_time t pid = t.procs.(pid).p_finish
 
@@ -227,24 +211,66 @@ let result t pid =
   match t.procs.(pid).p_status with Finished r -> Some r | _ -> None
 
 let runnable t =
-  let out = ref [] in
-  for pid = Array.length t.procs - 1 downto 0 do
-    if t.procs.(pid).p_status = Running then out := pid :: !out
-  done;
-  Array.of_list !out
+  match t.runnable_cache with
+  | Some a -> a
+  | None ->
+      let a = Array.make t.n_running 0 in
+      let j = ref 0 in
+      Array.iter
+        (fun p ->
+          if p.p_status = Running then begin
+            a.(!j) <- p.pid;
+            incr j
+          end)
+        t.procs;
+      t.runnable_cache <- Some a;
+      a
 
-let any_running t =
-  Array.exists (fun p -> p.p_status = Running) t.procs
+let any_running t = t.n_running > 0
 
 let step t pid =
   let p = t.procs.(pid) in
-  match (p.p_status, p.p_resume) with
-  | Running, Some resume ->
+  match (p.p_status, p.p_susp) with
+  | Running, Some susp -> (
       t.s_time <- t.s_time + 1;
       p.p_steps <- p.p_steps + 1;
       if p.p_first_step < 0 then p.p_first_step <- t.s_time;
-      p.p_resume <- None;
-      resume ()
+      p.p_susp <- None;
+      match susp with
+      | Blocked_read (r, k) ->
+          account_read t p r.Register.id;
+          let v = Register.read r in
+          if t.record_trace then
+            t.events <-
+              Op.Step
+                {
+                  time = t.s_time;
+                  pid = p.pid;
+                  reg = r.Register.id;
+                  reg_name = r.Register.name;
+                  kind = Op.Read;
+                  read_value = Some v;
+                  seen_writer = r.Register.last_writer;
+                }
+              :: t.events;
+          Effect.Deep.continue k v
+      | Blocked_write (r, v, k) ->
+          account_write t p r.Register.id;
+          Register.write r ~writer:p.pid v;
+          if t.record_trace then
+            t.events <-
+              Op.Step
+                {
+                  time = t.s_time;
+                  pid = p.pid;
+                  reg = r.Register.id;
+                  reg_name = r.Register.name;
+                  kind = Op.Write v;
+                  read_value = None;
+                  seen_writer = -1;
+                }
+              :: t.events;
+          Effect.Deep.continue k ())
   | Running, None ->
       (* A running process is always poised at an operation: [create]
          runs every program to its first effect. *)
@@ -257,20 +283,20 @@ let crash t pid =
   match p.p_status with
   | Running ->
       p.p_status <- Crashed;
-      p.p_pending <- None;
-      p.p_resume <- None;
-      add_event t (Op.Crash { time = t.s_time; pid })
+      p.p_susp <- None;
+      stopped_running t;
+      if t.record_trace then
+        t.events <- Op.Crash { time = t.s_time; pid } :: t.events
   | Finished _ | Crashed -> invalid_arg "Sched.crash: process is not running"
 
 let filter_pending klass p =
   let kind, reg, reg_name, value =
-    match p.p_pending with
+    match p.p_susp with
     | None -> (None, None, None, None)
-    | Some { Op.reg; kind } -> (
-        match kind with
-        | Op.Read -> (Some `Read, Some reg.Register.id, Some reg.Register.name, None)
-        | Op.Write v ->
-            (Some `Write, Some reg.Register.id, Some reg.Register.name, Some v))
+    | Some (Blocked_read (r, _)) ->
+        (Some `Read, Some r.Register.id, Some r.Register.name, None)
+    | Some (Blocked_write (r, v, _)) ->
+        (Some `Write, Some r.Register.id, Some r.Register.name, Some v)
   in
   match klass with
   | Adaptive ->
@@ -318,20 +344,22 @@ let view t klass =
   }
 
 let run ?(max_total_steps = 10_000_000) t adv =
-  let rec loop () =
-    if any_running t then begin
-      if t.s_time > max_total_steps then
-        failwith
-          (Printf.sprintf "Sched.run: exceeded %d steps under adversary %s"
-             max_total_steps adv.adv_name);
-      (match adv.decide (view t adv.adv_klass) with
-      | Schedule pid -> step t pid
-      | Crash_proc pid -> crash t pid
-      | Halt -> Array.iter (fun p -> if p.p_status = Running then crash t p.pid) t.procs);
-      loop ()
-    end
-  in
-  loop ()
+  (* The pending_of closure is allocated once per run, not per step. *)
+  let klass = adv.adv_klass in
+  let pending_of pid = filter_pending klass t.procs.(pid) in
+  while any_running t do
+    if t.s_time > max_total_steps then
+      failwith
+        (Printf.sprintf "Sched.run: exceeded %d steps under adversary %s"
+           max_total_steps adv.adv_name);
+    match
+      adv.decide { view_time = t.s_time; runnable = runnable t; pending_of }
+    with
+    | Schedule pid -> step t pid
+    | Crash_proc pid -> crash t pid
+    | Halt ->
+        Array.iter (fun p -> if p.p_status = Running then crash t p.pid) t.procs
+  done
 
 let trace t = List.rev t.events
 

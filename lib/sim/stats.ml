@@ -8,44 +8,58 @@ type summary = {
   p95 : float;
 }
 
-let mean xs =
-  match xs with
-  | [] -> invalid_arg "Stats.mean: empty sample"
-  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+let mean_array xs =
+  match Array.length xs with
+  | 0 -> invalid_arg "Stats.mean: empty sample"
+  | n -> Array.fold_left ( +. ) 0.0 xs /. float_of_int n
 
-let percentile xs p =
-  match List.sort compare xs with
-  | [] -> invalid_arg "Stats.percentile: empty sample"
-  | sorted ->
-      if not (p >= 0.0 && p <= 1.0) then
-        invalid_arg "Stats.percentile: p must be in [0, 1]";
-      let n = List.length sorted in
-      let rank =
-        min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)
-      in
-      List.nth sorted (max 0 rank)
+let mean xs = mean_array (Array.of_list xs)
 
-let summarize xs =
-  match xs with
-  | [] -> invalid_arg "Stats.summarize: empty sample"
-  | _ ->
-      let n = List.length xs in
-      let m = mean xs in
-      let var =
-        if n < 2 then 0.0
-        else
-          List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
-          /. float_of_int (n - 1)
-      in
-      {
-        count = n;
-        mean = m;
-        stddev = sqrt var;
-        min = List.fold_left Float.min infinity xs;
-        max = List.fold_left Float.max neg_infinity xs;
-        median = percentile xs 0.5;
-        p95 = percentile xs 0.95;
-      }
+(* Nearest-rank percentile on an already-sorted array: O(1). *)
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg "Stats.percentile: p must be in [0, 1]";
+  let rank = min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1) in
+  sorted.(max 0 rank)
+
+let sorted_of_list xs =
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  a
+
+let percentile xs p = percentile_sorted (sorted_of_list xs) p
+
+(* One sort + one Welford pass, instead of a sort per percentile and a
+   List.nth walk per rank. *)
+let summarize_sorted sorted =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  let mean = ref 0.0 and m2 = ref 0.0 in
+  for i = 0 to n - 1 do
+    let x = sorted.(i) in
+    let d = x -. !mean in
+    mean := !mean +. (d /. float_of_int (i + 1));
+    m2 := !m2 +. (d *. (x -. !mean))
+  done;
+  let var = if n < 2 then 0.0 else !m2 /. float_of_int (n - 1) in
+  {
+    count = n;
+    mean = !mean;
+    stddev = sqrt var;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    median = percentile_sorted sorted 0.5;
+    p95 = percentile_sorted sorted 0.95;
+  }
+
+let summarize_array xs =
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  summarize_sorted sorted
+
+let summarize xs = summarize_sorted (sorted_of_list xs)
 
 let pp_summary ppf s =
   Fmt.pf ppf "%.2f +/- %.2f (median %.2f, p95 %.2f, n=%d)" s.mean s.stddev

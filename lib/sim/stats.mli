@@ -1,4 +1,9 @@
-(** Small descriptive-statistics helpers for experiment harnesses. *)
+(** Small descriptive-statistics helpers for experiment harnesses.
+
+    All summaries are computed with a single sort of the sample plus a
+    one-pass Welford mean/variance — no repeated sorting per percentile,
+    no [List.nth] walks — so they stay cheap on the engine's large
+    per-trial result arrays. *)
 
 type summary = {
   count : int;
@@ -13,11 +18,25 @@ type summary = {
 val summarize : float list -> summary
 (** Raises [Invalid_argument] on the empty list. *)
 
+val summarize_array : float array -> summary
+(** Like {!summarize} on an array (the engine's native result shape).
+    Does not mutate its argument. Raises [Invalid_argument] on [[||]]. *)
+
+val summarize_sorted : float array -> summary
+(** Like {!summarize_array} but assumes the array is already sorted
+    ascending, skipping the sort (and the defensive copy). *)
+
 val mean : float list -> float
+
+val mean_array : float array -> float
 
 val percentile : float list -> float -> float
 (** [percentile xs p] for [p] in [\[0, 1\]], nearest-rank on the sorted
     sample. *)
+
+val percentile_sorted : float array -> float -> float
+(** Nearest-rank percentile on an already-sorted array: O(1) per call,
+    so summarising many percentiles costs one sort total. *)
 
 val pp_summary : summary Fmt.t
 (** ["mean +/- sd (median m, p95 q, n)"]. *)

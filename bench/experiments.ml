@@ -23,6 +23,16 @@ let log2 x = log x /. log 2.0
    from --domains. *)
 let domains = ref (Engine.default_domains ())
 
+(* Trial-count multiplier for every statistical batch; bench/main.ml
+   sets it from --scale. 1.0 runs the full tables; the perf subcommand
+   uses a small scale so timing every experiment family stays cheap
+   enough for `make perf-regress`. Scaling changes statistical
+   resolution only, never which claim a table checks. *)
+let scale = ref 1.0
+
+let scaled trials =
+  max 1 (int_of_float ((float_of_int trials *. !scale) +. 0.5))
+
 let derive = Sim.Rng.derive
 
 (* Base seed of every experiment batch. Trials derive from it by index,
@@ -33,7 +43,7 @@ let base_seed = 0x0E17A5EEDL
    fresh system. [f] receives the trial's base seed and mints sub-seeds
    with [derive ~stream]. *)
 let avg_runs ~trials f =
-  Engine.mean ~domains:!domains ~trials ~seed:base_seed
+  Engine.mean ~domains:!domains ~trials:(scaled trials) ~seed:base_seed
     (fun ~trial:_ ~seed -> f seed)
 
 (* {1 E1 — Lemma 2.2: performance parameter of the Figure 1 GroupElect} *)
@@ -106,7 +116,7 @@ let run_e3 () =
   line ();
   let probs = Groupelect.Ge_sift.probability_schedule ~n in
   let counts = Array.make (Array.length probs + 1) 0.0 in
-  let trials = 20 in
+  let trials = scaled 20 in
   (* Each trial returns its own survivor counts; the fold into [counts]
      happens in trial order on the caller. *)
   let per_trial =
@@ -351,7 +361,7 @@ let run_e8 () =
   line ();
   List.iter
     (fun t ->
-      let p = Lowerbound.Yao.measure ~trials:300 ~make:tas_pair ~t () in
+      let p = Lowerbound.Yao.measure ~trials:(scaled 300) ~make:tas_pair ~t () in
       pr "%6d %12d %14.4f %12.6f %8s@." t p.Lowerbound.Yao.schedules_tested
         p.Lowerbound.Yao.max_prob p.Lowerbound.Yao.bound
         (if p.Lowerbound.Yao.max_prob >= p.Lowerbound.Yao.bound then "yes"
@@ -422,7 +432,7 @@ let run_e10 () =
   pr "%-14s %16s@." "implementation" "ns/op (mean)";
   line ();
   let time_one ?(domains = 4) make =
-    let trials = 300 in
+    let trials = scaled 300 in
     let t0 = Unix.gettimeofday () in
     for trial = 1 to trials do
       let tas = make () in
@@ -637,7 +647,7 @@ let run_e13 () =
   line ();
   List.iter
     (fun k ->
-      let trials = 60 in
+      let trials = scaled 60 in
       let per_trial =
         Engine.run ~domains:!domains ~trials ~seed:base_seed
           (fun ~trial:_ ~seed ->
@@ -704,40 +714,83 @@ let run_e14 () =
    A reduced E1/E2-style workload: each trial runs one Figure-1
    GroupElect round and one log* election, both at k = 64. Trials
    return exact integer outcomes so callers can check that different
-   domain counts produce bit-identical per-trial results. *)
+   domain counts produce bit-identical per-trial results.
 
-let perf_trial ~seed =
-  let n = 512 and k = 64 in
-  let elected =
-    let mem = Sim.Memory.create () in
-    let ge = Groupelect.Ge_logstar.create mem ~n in
-    let sched =
-      Sim.Sched.create ~seed:(derive seed ~stream:0)
-        (Array.init k (fun _ ctx ->
-             if ge.Groupelect.Ge.elect ctx then 1 else 0))
-    in
-    Sim.Sched.run sched
-      (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:1));
-    Array.fold_left
-      (fun a r -> if r = Some 1 then a + 1 else a)
-      0 (Sim.Sched.results sched)
-  in
-  let steps =
-    let mem = Sim.Memory.create () in
-    let le = Leaderelect.Le_logstar.make mem ~n in
-    let sched =
-      Sim.Sched.create ~seed:(derive seed ~stream:2)
-        (Leaderelect.Le.programs le ~k)
-    in
-    Sim.Sched.run sched
-      (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:3));
-    Sim.Sched.max_steps sched
-  in
-  (elected, steps)
+   The trial hot path is allocation-lean: each worker builds its two
+   simulated systems (memory arenas, algorithm structures — thousands of
+   registers with formatted debug names — schedulers, program arrays)
+   {e once}, in [make_perf_arena], and every trial merely resets and
+   reruns them. [Sim.Memory.reset] restores every register,
+   [Sim.Sched.reset] restores the scheduler in place, so a reused trial
+   is bit-identical to one on freshly built structures (pinned by
+   test_engine.ml's reuse-vs-fresh test). *)
 
-let perf_sweep ~domains ~trials () =
-  Engine.run ~domains ~trials ~seed:base_seed (fun ~trial:_ ~seed ->
-      perf_trial ~seed)
+type perf_arena = {
+  ge_mem : Sim.Memory.t;
+  ge_progs : (Sim.Ctx.t -> int) array;
+  ge_sched : Sim.Sched.t;
+  le_mem : Sim.Memory.t;
+  le_progs : (Sim.Ctx.t -> int) array;
+  le_sched : Sim.Sched.t;
+}
+
+let perf_n = 512
+let perf_k = 64
+
+let make_perf_arena () =
+  let ge_mem = Sim.Memory.create () in
+  let ge = Groupelect.Ge_logstar.create ge_mem ~n:perf_n in
+  let ge_progs =
+    Array.init perf_k (fun _ ctx ->
+        if ge.Groupelect.Ge.elect ctx then 1 else 0)
+  in
+  let ge_sched = Sim.Sched.create ge_progs in
+  let le_mem = Sim.Memory.create () in
+  let le = Leaderelect.Le_logstar.make le_mem ~n:perf_n in
+  let le_progs = Leaderelect.Le.programs le ~k:perf_k in
+  let le_sched = Sim.Sched.create le_progs in
+  { ge_mem; ge_progs; ge_sched; le_mem; le_progs; le_sched }
+
+(* One trial on a (possibly reused) arena: reset both systems to their
+   freshly built state, then run them with the trial's derived seeds. *)
+let perf_trial arena ~seed =
+  Sim.Memory.reset arena.ge_mem;
+  Sim.Sched.reset ~seed:(derive seed ~stream:0) arena.ge_sched arena.ge_progs;
+  Sim.Sched.run arena.ge_sched
+    (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:1));
+  let elected = ref 0 in
+  for pid = 0 to perf_k - 1 do
+    if Sim.Sched.result arena.ge_sched pid = Some 1 then incr elected
+  done;
+  Sim.Memory.reset arena.le_mem;
+  Sim.Sched.reset ~seed:(derive seed ~stream:2) arena.le_sched arena.le_progs;
+  Sim.Sched.run arena.le_sched
+    (Sim.Adversary.random_oblivious ~seed:(derive seed ~stream:3));
+  (!elected, Sim.Sched.max_steps arena.le_sched)
+
+type sweep_run = {
+  sr_elected : int array;  (* per-trial GroupElect winners *)
+  sr_steps : int array;  (* per-trial election max steps *)
+  sr_workers : Engine.worker_stats array;
+}
+
+let sweep_results_equal a b =
+  a.sr_elected = b.sr_elected && a.sr_steps = b.sr_steps
+
+let perf_sweep ~domains ?chunk ~trials () =
+  (* Into-style sinks: plain int arrays the trials write in place — the
+     engine materialises no per-trial boxes at all. *)
+  let sr_elected = Array.make trials 0 in
+  let sr_steps = Array.make trials 0 in
+  let sr_workers =
+    Engine.run_into ~domains ?chunk ~trials ~seed:base_seed
+      ~local:make_perf_arena
+      (fun arena ~trial ~seed ->
+        let elected, steps = perf_trial arena ~seed in
+        sr_elected.(trial) <- elected;
+        sr_steps.(trial) <- steps)
+  in
+  { sr_elected; sr_steps; sr_workers }
 
 let all : (string * string * (unit -> unit)) list =
   [

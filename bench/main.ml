@@ -138,20 +138,49 @@ type sweep_result = {
   workload : string;
   sw_trials : int;
   sw_domains : int;
+  sw_domains_requested : int;
+  sw_chunk : int;
   wall_s_domains_1 : float;
   wall_s : float;
+  workers_domains_1 : Engine.worker_stats array;
+  workers : Engine.worker_stats array;
   bit_identical : bool;
 }
 
-let write_json ~path ~domains ~experiments ~sweep =
+let add_workers buf key (workers : Engine.worker_stats array) =
+  let add = Buffer.add_string buf in
+  add (Printf.sprintf "    \"%s\": [" key);
+  Array.iteri
+    (fun i (w : Engine.worker_stats) ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf
+           "\n      {\"worker\": %d, \"trials\": %d, \"chunks\": %d, \
+            \"minor_words\": %.0f, \"promoted_words\": %.0f, \
+            \"major_words\": %.0f, \"minor_collections\": %d, \
+            \"major_collections\": %d}"
+           w.Engine.w_worker w.Engine.w_trials w.Engine.w_chunks
+           w.Engine.w_minor_words w.Engine.w_promoted_words
+           w.Engine.w_major_words w.Engine.w_minor_collections
+           w.Engine.w_major_collections))
+    workers;
+  if Array.length workers > 0 then add "\n    ";
+  add "]"
+
+let total_minor_words (workers : Engine.worker_stats array) =
+  Array.fold_left (fun a w -> a +. w.Engine.w_minor_words) 0.0 workers
+
+let write_json ~path ~domains ~domains_requested ~scale ~experiments ~sweep =
   let buf = Buffer.create 1024 in
   let add = Buffer.add_string buf in
   add "{\n";
-  add "  \"schema_version\": 1,\n";
+  add "  \"schema_version\": 2,\n";
   add (Printf.sprintf "  \"domains\": %d,\n" domains);
+  add (Printf.sprintf "  \"domains_requested\": %d,\n" domains_requested);
   add
     (Printf.sprintf "  \"recommended_domains\": %d,\n"
        (Domain.recommended_domain_count ()));
+  add (Printf.sprintf "  \"experiments_scale\": %.4f,\n" scale);
   add "  \"experiments\": [";
   List.iteri
     (fun i (id, wall_s) ->
@@ -164,10 +193,17 @@ let write_json ~path ~domains ~experiments ~sweep =
   | None -> add "  \"parallel_sweep\": null\n"
   | Some s ->
       let per_sec wall = float_of_int s.sw_trials /. Float.max wall 1e-9 in
+      let per_trial words =
+        words /. float_of_int (max s.sw_trials 1)
+      in
       add "  \"parallel_sweep\": {\n";
       add (Printf.sprintf "    \"workload\": \"%s\",\n" s.workload);
       add (Printf.sprintf "    \"trials\": %d,\n" s.sw_trials);
       add (Printf.sprintf "    \"domains\": %d,\n" s.sw_domains);
+      add
+        (Printf.sprintf "    \"domains_requested\": %d,\n"
+           s.sw_domains_requested);
+      add (Printf.sprintf "    \"chunk\": %d,\n" s.sw_chunk);
       add (Printf.sprintf "    \"wall_s_domains_1\": %.6f,\n" s.wall_s_domains_1);
       add (Printf.sprintf "    \"wall_s\": %.6f,\n" s.wall_s);
       add
@@ -178,7 +214,13 @@ let write_json ~path ~domains ~experiments ~sweep =
         (Printf.sprintf "    \"speedup_vs_domains_1\": %.4f,\n"
            (s.wall_s_domains_1 /. Float.max s.wall_s 1e-9));
       add
-        (Printf.sprintf "    \"bit_identical\": %b\n" s.bit_identical);
+        (Printf.sprintf "    \"minor_words_per_trial_domains_1\": %.1f,\n"
+           (per_trial (total_minor_words s.workers_domains_1)));
+      add_workers buf "gc_domains_1" s.workers_domains_1;
+      add ",\n";
+      add_workers buf "gc" s.workers;
+      add ",\n";
+      add (Printf.sprintf "    \"bit_identical\": %b\n" s.bit_identical);
       add "  }\n");
   add "}\n";
   let oc = open_out path in
@@ -188,34 +230,88 @@ let write_json ~path ~domains ~experiments ~sweep =
 
 (* {1 The perf sweep: wall-clock speedup of the parallel trial engine} *)
 
-let run_perf ~domains ~trials ~out () =
+let resolve_bench_domains ~exact requested =
+  let recommended = Domain.recommended_domain_count () in
+  if exact || requested <= recommended then requested
+  else begin
+    Fmt.epr
+      "perf: clamping --domains %d to the recommended %d (results are \
+       identical either way; pass --exact-domains to overcommit anyway)@."
+      requested recommended;
+    recommended
+  end
+
+let pp_workers label (workers : Engine.worker_stats array) =
+  Array.iter
+    (fun (w : Engine.worker_stats) ->
+      Fmt.pr
+        "  %s worker %d: %d trials in %d chunks, minor %.2fM words, major \
+         %.2fM words, %d minor / %d major collections@."
+        label w.Engine.w_worker w.Engine.w_trials w.Engine.w_chunks
+        (w.Engine.w_minor_words /. 1e6)
+        (w.Engine.w_major_words /. 1e6)
+        w.Engine.w_minor_collections w.Engine.w_major_collections)
+    workers
+
+let run_perf ~domains_requested ~exact ~trials ~scale ~out () =
+  let domains = resolve_bench_domains ~exact domains_requested in
   Fmt.pr "== Parallel trial engine: reduced E1/E2 sweep, %d trials ==@." trials;
+  (* Adaptive chunking: size chunks off one timed calibration trial so a
+     chunk costs ~10ms regardless of how fast the workload gets. *)
+  let calibration_arena = Experiments.make_perf_arena () in
+  let chunk =
+    Engine.calibrated_chunk ~domains ~trials (fun () ->
+        ignore
+          (Experiments.perf_trial calibration_arena
+             ~seed:(Sim.Rng.derive Experiments.base_seed ~stream:0)))
+  in
+  Fmt.pr "  calibrated chunk: %d trials@." chunk;
   let r1, t1 =
-    Engine.timed (fun () -> Experiments.perf_sweep ~domains:1 ~trials ())
+    Engine.timed (fun () ->
+        Experiments.perf_sweep ~domains:1 ~chunk ~trials ())
   in
   Fmt.pr "  domains=1: %.3fs (%.1f trials/s)@." t1 (float_of_int trials /. t1);
   let rn, tn =
-    Engine.timed (fun () -> Experiments.perf_sweep ~domains ~trials ())
+    Engine.timed (fun () -> Experiments.perf_sweep ~domains ~chunk ~trials ())
   in
   Fmt.pr "  domains=%d: %.3fs (%.1f trials/s)@." domains tn
     (float_of_int trials /. tn);
-  let bit_identical = r1 = rn in
+  let bit_identical = Experiments.sweep_results_equal r1 rn in
   Fmt.pr "  per-trial results bit-identical across domain counts: %b@."
     bit_identical;
   Fmt.pr "  speedup vs domains=1: %.2fx@." (t1 /. Float.max tn 1e-9);
+  pp_workers "gc" rn.Experiments.sr_workers;
   if not bit_identical then begin
     Fmt.epr "perf: determinism violation — results differ across domains@.";
     exit 1
   end;
-  write_json ~path:out ~domains ~experiments:[]
+  (* Time every experiment family (at --scale, so the whole trajectory
+     stays regression-guarded without hour-long runs). *)
+  Experiments.domains := domains;
+  Experiments.scale := scale;
+  Fmt.pr "@.== Experiment families (scale %.2f) ==@." scale;
+  let experiments =
+    List.map
+      (fun (id, _, run) ->
+        let (), wall = Engine.timed run in
+        (id, wall))
+      Experiments.all
+  in
+  Fmt.pr "@.== Family wall-clock (scale %.2f) ==@." scale;
+  List.iter (fun (id, wall) -> Fmt.pr "  %-5s %8.3fs@." id wall) experiments;
+  write_json ~path:out ~domains ~domains_requested ~scale ~experiments
     ~sweep:
       (Some
          {
            workload = "e1e2-reduced";
            sw_trials = trials;
            sw_domains = domains;
+           sw_domains_requested = domains_requested;
+           sw_chunk = chunk;
            wall_s_domains_1 = t1;
            wall_s = tn;
+           workers_domains_1 = r1.Experiments.sr_workers;
+           workers = rn.Experiments.sr_workers;
            bit_identical;
          })
 
@@ -243,12 +339,14 @@ let run_tables ~domains ~out ids =
         (id, wall))
       chosen
   in
-  write_json ~path:out ~domains ~experiments:timed ~sweep:None
+  write_json ~path:out ~domains ~domains_requested:domains ~scale:1.0
+    ~experiments:timed ~sweep:None
 
 let usage () =
   Fmt.pr
     "usage: main.exe [--domains N] [--out FILE] [ids...]@.\
-    \       main.exe perf [--domains N] [--trials T] [--out FILE]@.\
+    \       main.exe perf [--domains N] [--exact-domains] [--trials T]@.\
+    \                     [--scale S] [--out FILE]@.\
     \       main.exe bechamel | list@."
 
 let () =
@@ -256,6 +354,8 @@ let () =
   let domains = ref (Engine.default_domains ()) in
   let out = ref "BENCH_results.json" in
   let trials = ref 400 in
+  let scale = ref 0.05 in
+  let exact = ref false in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--domains" :: v :: rest -> (
@@ -266,6 +366,9 @@ let () =
         | _ ->
             Fmt.epr "--domains expects a positive integer@.";
             exit 1)
+    | "--exact-domains" :: rest ->
+        exact := true;
+        parse acc rest
     | "--out" :: v :: rest ->
         out := v;
         parse acc rest
@@ -277,13 +380,23 @@ let () =
         | _ ->
             Fmt.epr "--trials expects a positive integer@.";
             exit 1)
+    | "--scale" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some s when s > 0.0 && s <= 1.0 ->
+            scale := s;
+            parse acc rest
+        | _ ->
+            Fmt.epr "--scale expects a float in (0, 1]@.";
+            exit 1)
     | ("--help" | "-h") :: _ ->
         usage ();
         exit 0
     | a :: rest -> parse (a :: acc) rest
   in
   match parse [] args with
-  | [ "perf" ] -> run_perf ~domains:!domains ~trials:!trials ~out:!out ()
+  | [ "perf" ] ->
+      run_perf ~domains_requested:!domains ~exact:!exact ~trials:!trials
+        ~scale:!scale ~out:!out ()
   | [ "bechamel" ] -> run_bechamel ()
   | [ "list" ] ->
       List.iter (fun (id, doc, _) -> Fmt.pr "%-5s %s@." id doc) Experiments.all;

@@ -103,6 +103,12 @@ let sweep_cmd =
     Arg.(value & opt int 20 & info [ "trials" ] ~docv:"T" ~doc:"Trials per point.")
   in
   let sweep algorithm n adversary trials seed domains =
+    let recommended = Domain.recommended_domain_count () in
+    if domains > recommended then
+      Fmt.epr
+        "sweep: --domains %d exceeds the host's recommended %d; the table is \
+         identical either way, the extra domains only add overhead@."
+        domains recommended;
     Fmt.pr "%8s %14s %12s %12s@." "k" "avg max steps" "avg rmrs" "registers";
     let rec points k acc = if k > n then List.rev acc else points (k * 4) (k :: acc) in
     List.iter

@@ -10,13 +10,58 @@
     domain} runs a trial, never {e what} the trial computes. Hence
     [run ~domains:1] and [run ~domains:8] return equal arrays, and every
     aggregation below — an in-order fold, or per-chunk accumulators
-    merged in chunk order — is equally domain-count-independent. Trial
-    bodies must not share mutable state (each should build its own
-    [Sim.Memory.t], scheduler, etc., as the experiment harnesses do). *)
+    merged in chunk order — is equally domain-count-independent.
+
+    {2 Arenas and allocation discipline}
+
+    Trial bodies must not share mutable state across domains. They may
+    share mutable state {e within} a worker through the [local] arena of
+    {!run_local}/{!run_float}/{!run_into}: [local ()] is evaluated once
+    per participating worker (in that worker's domain) and handed to
+    every trial that worker runs. The intended pattern is a reusable
+    simulation arena — build the [Sim.Memory.t], the algorithm structure
+    and the [Sim.Sched.t] once, then [Sim.Memory.reset] +
+    [Sim.Sched.reset] per trial — which eliminates the per-trial
+    construction cost entirely. The caller must guarantee a reused
+    arena yields the same per-trial result as a fresh one (reset
+    everything the trial mutates); the determinism contract then holds
+    unchanged. *)
 
 val default_domains : unit -> int
 (** [RTAS_DOMAINS] from the environment if set to a positive integer,
     else [Domain.recommended_domain_count ()]. *)
+
+val effective_domains : requested:int -> int
+(** [requested] clamped to [Domain.recommended_domain_count ()] (and to
+    at least 1): the pool size that can actually run in parallel on
+    this host. Benchmarks use it so wall-clock numbers are not poisoned
+    by overcommitted domains; raises [Invalid_argument] when
+    [requested < 1]. *)
+
+val calibrated_chunk :
+  ?target_s:float -> domains:int -> trials:int -> (unit -> unit) -> int
+(** [calibrated_chunk ~domains ~trials sample] sizes chunks adaptively:
+    it runs [sample] (one representative trial) twice — a warm-up, then
+    a timed run — and returns the chunk size whose cost is roughly
+    [target_s] (default 10ms), clamped to keep at least ~4 chunks per
+    domain so stragglers can rebalance, and to at least 1. Chunk size
+    never affects results, only scheduling granularity. *)
+
+type worker_stats = {
+  w_worker : int;  (** Worker index; 0 is the calling domain. *)
+  w_trials : int;  (** Trials this worker executed. *)
+  w_chunks : int;  (** Chunks this worker claimed. *)
+  w_minor_words : float;
+  w_promoted_words : float;
+  w_major_words : float;
+  w_minor_collections : int;
+  w_major_collections : int;
+}
+(** Per-worker observability for a batch: how the dynamic chunking
+    balanced the work, and the worker domain's [Gc.quick_stat] deltas
+    over its whole participation (arena construction included). The
+    allocation columns are the direct measure of trial-loop allocation
+    discipline — [make perf-regress] tracks them per PR. *)
 
 val run :
   ?domains:int ->
@@ -30,7 +75,49 @@ val run :
     {!default_domains}; [1] runs inline without spawning) and returns
     the per-trial results in trial order. Work is handed out in chunks
     of [chunk] trials (default: ~8 chunks per domain). An exception in
-    any trial is re-raised after all domains are joined. *)
+    any trial is re-raised after all domains are joined. Trial 0 runs
+    first on the calling domain: its value seeds the result array, so
+    no per-trial [option] boxing occurs. *)
+
+val run_local :
+  ?domains:int ->
+  ?chunk:int ->
+  trials:int ->
+  seed:int64 ->
+  local:(unit -> 'w) ->
+  ('w -> trial:int -> seed:int64 -> 'a) ->
+  'a array
+(** {!run} with a per-worker arena: [f] receives the value [local ()]
+    built by the worker that runs the trial (see the module preamble).
+    Trial 0 runs on the calling domain with its own [local ()]. *)
+
+val run_float :
+  ?domains:int ->
+  ?chunk:int ->
+  trials:int ->
+  seed:int64 ->
+  local:(unit -> 'w) ->
+  ('w -> trial:int -> seed:int64 -> float) ->
+  floatarray
+(** {!run_local} for float-valued trials, writing results unboxed into
+    a [floatarray]: no per-trial allocation on the result path at all
+    (pass [~local:(fun () -> ())] when no arena is needed). *)
+
+val run_into :
+  ?domains:int ->
+  ?chunk:int ->
+  trials:int ->
+  seed:int64 ->
+  local:(unit -> 'w) ->
+  ('w -> trial:int -> seed:int64 -> unit) ->
+  worker_stats array
+(** The into-style writer API: the caller owns the result sink — the
+    callback writes trial [t]'s outcome wherever it wants (a
+    preallocated [int array], a [Bigarray], a float array slice...),
+    and the engine materialises nothing. Distinct trials must write to
+    distinct locations, so concurrent workers never race. Returns the
+    per-worker statistics of the batch (slot 0 = the calling domain);
+    the other runners discard them. *)
 
 val fold :
   ?domains:int ->
@@ -74,11 +161,24 @@ val mean :
   seed:int64 ->
   (trial:int -> seed:int64 -> float) ->
   float
-(** Arithmetic mean of a float-valued batch (in trial order). Raises
-    [Invalid_argument] when [trials <= 0]. *)
+(** Arithmetic mean of a float-valued batch, accumulated in trial order
+    over the unboxed {!run_float} sink. Raises [Invalid_argument] when
+    [trials <= 0]. *)
 
 val timed : (unit -> 'a) -> 'a * float
 (** [timed f] is [(f (), wall-clock seconds it took)]. *)
+
+type explore_result = {
+  executions : int;  (** Executions run and checked. *)
+  truncated : bool;
+      (** [true] when the [max_paths] budget cut the enumeration short
+          (in the parallel case: in at least one subtree). A truncated
+          count is a lower bound and — because the parallel search
+          splits the budget evenly across subtrees while the sequential
+          one spends it depth-first — may differ from the sequential
+          count. Exhaustive searches ([truncated = false]) match the
+          sequential enumeration exactly. *)
+}
 
 val explore :
   ?domains:int ->
@@ -90,15 +190,14 @@ val explore :
   programs:(unit -> (Sim.Ctx.t -> int) array) ->
   check:(Sim.Sched.t -> unit) ->
   unit ->
-  int
+  explore_result
 (** Parallel {!Sim.Explore.explore}: the empty-prefix execution is
     probed once, then the independent subtrees of the first choice point
     fan out over the domain pool, each enumerated by the sequential DFS
     restricted to its prefix. Because tail randomness is derived from
-    the path, the set of executions (and the returned count) matches the
-    sequential search whenever [max_paths] does not truncate it; when it
-    does, the budget is split evenly across subtrees instead of being
-    spent depth-first. [check] runs concurrently on several domains:
-    it must only touch the scheduler it is handed (or synchronise its
-    own shared state). An exception raised by [check] aborts the search
-    and is re-raised. *)
+    the path, the set of executions matches the sequential search
+    whenever [max_paths] does not truncate it; truncation is never
+    silent — it is reported in the result. [check] runs concurrently on
+    several domains: it must only touch the scheduler it is handed (or
+    synchronise its own shared state). An exception raised by [check]
+    aborts the search and is re-raised. *)

@@ -88,17 +88,21 @@ let tail_seed_of seed path =
 (* DFS over choice prefixes, restricted to extensions of [prefix] (the
    prefix execution itself included). [on_execution] sees every
    completed run (with the run's own outcome) and may raise to abort the
-   search. *)
+   search. Returns the number of executions run and whether the
+   [max_paths] budget cut the enumeration short (unvisited prefixes
+   remained when it was exhausted). *)
 let dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~prefix ~programs
     ~on_execution =
   let count = ref 0 in
+  let truncated = ref false in
   let stack = ref [ prefix ] in
   let rec loop () =
     match !stack with
     | [] -> ()
     | path :: rest ->
-        stack := rest;
-        if !count < max_paths then begin
+        if !count >= max_paths then truncated := true
+        else begin
+          stack := rest;
           let sched, outcome, branch =
             run_path ~tail_seed:(tail_seed_of seed path) ~depth ~max_crashes
               ~max_total_steps ~programs path
@@ -115,14 +119,27 @@ let dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~prefix ~programs
         end
   in
   loop ();
-  !count
+  (!count, !truncated)
 
-let explore ?(max_paths = 2_000_000) ?(seed = 0xE8920AL) ?(max_crashes = 0)
+type stat = { executions : int; truncated : bool }
+
+let explore_stat ?(max_paths = 2_000_000) ?(seed = 0xE8920AL) ?(max_crashes = 0)
     ?(max_total_steps = 10_000_000) ?(prefix = [||]) ~depth ~programs ~check ()
     =
-  dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~prefix ~programs
-    ~on_execution:(fun ~path:_ ~sched ~outcome ->
-      match outcome with Ok () -> check sched | Error e -> raise e)
+  let executions, truncated =
+    dfs ~max_paths ~seed ~depth ~max_crashes ~max_total_steps ~prefix ~programs
+      ~on_execution:(fun ~path:_ ~sched ~outcome ->
+        match outcome with Ok () -> check sched | Error e -> raise e)
+  in
+  { executions; truncated }
+
+let explore ?max_paths ?seed ?max_crashes ?max_total_steps ?prefix ~depth
+    ~programs ~check () =
+  let s =
+    explore_stat ?max_paths ?seed ?max_crashes ?max_total_steps ?prefix ~depth
+      ~programs ~check ()
+  in
+  s.executions
 
 let probe ?(seed = 0xE8920AL) ?(max_crashes = 0)
     ?(max_total_steps = 10_000_000) ?(prefix = [||]) ~depth ~programs ~check ()

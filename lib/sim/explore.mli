@@ -39,6 +39,29 @@
 
     Returns the number of executions checked. *)
 
+type stat = {
+  executions : int;  (** Executions run and checked. *)
+  truncated : bool;
+      (** [true] when the [max_paths] budget was exhausted with
+          unvisited prefixes remaining — the enumeration (and hence the
+          count) is a lower bound, not the full bounded space. *)
+}
+
+val explore_stat :
+  ?max_paths:int ->
+  ?seed:int64 ->
+  ?max_crashes:int ->
+  ?max_total_steps:int ->
+  ?prefix:int array ->
+  depth:int ->
+  programs:(unit -> (Ctx.t -> int) array) ->
+  check:(Sched.t -> unit) ->
+  unit ->
+  stat
+(** Like {!explore}, but also reports whether [max_paths] bound the
+    search: no silent caps — callers that set a budget can tell an
+    exhaustive enumeration from a cut-off one. *)
+
 val explore :
   ?max_paths:int ->
   ?seed:int64 ->

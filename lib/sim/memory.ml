@@ -1,10 +1,29 @@
-type t = { mutable count : int }
+(* Register allocator, space accounting, and the arena-reuse hook.
 
-let create () = { count = 0 }
+   [reset] exists so a trial harness can build an algorithm structure
+   (thousands of registers, each with a formatted debug name) once and
+   then recycle it across a whole batch of trials: every register
+   allocated from this memory registers a reset thunk at creation, and
+   [reset] replays them, restoring the freshly-allocated state without
+   re-allocating anything. *)
+
+type t = {
+  mutable count : int;
+  (* Reset thunks of every register allocated from this memory, in
+     reverse allocation order. Order is irrelevant: each thunk touches
+     only its own register. *)
+  mutable resets : (unit -> unit) list;
+}
+
+let create () = { count = 0; resets = [] }
 
 let alloc t =
   let id = t.count in
   t.count <- id + 1;
   id
+
+let on_reset t f = t.resets <- f :: t.resets
+
+let reset t = List.iter (fun f -> f ()) t.resets
 
 let allocated t = t.count

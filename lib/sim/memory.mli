@@ -2,7 +2,13 @@
 
     All shared registers of a simulated system are allocated from a
     single [Memory.t]. The number of registers allocated is the space
-    complexity the paper's Section 5 reasons about. *)
+    complexity the paper's Section 5 reasons about.
+
+    A memory also doubles as a reusable {e arena}: {!reset} restores
+    every register allocated from it to its freshly-created state
+    (value [0], no last writer) without allocating, so trial batches can
+    build an algorithm structure once and recycle it per trial instead
+    of rebuilding it (see [Engine.run_local] and DESIGN.md §9). *)
 
 type t
 
@@ -10,6 +16,18 @@ val create : unit -> t
 
 val alloc : t -> int
 (** Allocate a fresh register id. *)
+
+val on_reset : t -> (unit -> unit) -> unit
+(** [on_reset t f] registers [f] to run on every {!reset}.
+    {!Register.create} uses this to enrol each register's
+    state-restoring thunk; other stateful structures allocated from the
+    arena may enrol their own. *)
+
+val reset : t -> unit
+(** Run every registered reset thunk, restoring all registers (and any
+    other enrolled state) to the state immediately after allocation.
+    The allocation count is unchanged — {!allocated} still reports the
+    space complexity of the structure. *)
 
 val allocated : t -> int
 (** Total number of registers allocated so far. *)

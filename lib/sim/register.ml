@@ -6,7 +6,11 @@ type t = {
 }
 
 let create ?(name = "r") mem =
-  { id = Memory.alloc mem; name; value = 0; last_writer = -1 }
+  let t = { id = Memory.alloc mem; name; value = 0; last_writer = -1 } in
+  Memory.on_reset mem (fun () ->
+      t.value <- 0;
+      t.last_writer <- -1);
+  t
 
 let read t = t.value
 

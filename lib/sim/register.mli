@@ -14,7 +14,9 @@ type t = private {
 }
 
 val create : ?name:string -> Memory.t -> t
-(** Allocate a fresh register with initial value [0]. *)
+(** Allocate a fresh register with initial value [0]. The register
+    enrols itself with {!Memory.on_reset}, so {!Memory.reset} restores
+    it to this initial state ([value = 0], [last_writer = -1]). *)
 
 val read : t -> int
 (** Direct read; only the scheduler and test harnesses call this.

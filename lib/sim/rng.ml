@@ -6,6 +6,8 @@ let create seed = { state = seed }
 
 let copy t = { state = t.state }
 
+let reseed t seed = t.state <- seed
+
 let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in

@@ -13,6 +13,12 @@ val copy : t -> t
 (** [copy t] is a generator with the same state as [t]; advancing one
     does not affect the other. *)
 
+val reseed : t -> int64 -> unit
+(** [reseed t seed] resets [t] in place to the state of [create seed],
+    without allocating. The reuse path of batch trials ({!Sched.reset})
+    depends on [reseed t s] making [t] indistinguishable from a fresh
+    generator, so reseeded and freshly created runs stay bit-identical. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator seeded from it,
     suitable for an independent sub-stream. *)

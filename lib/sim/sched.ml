@@ -69,6 +69,9 @@ type t = {
   (* [runnable] is recomputed only when some process stops running. *)
   mutable n_running : int;
   mutable runnable_cache : int array option;
+  (* [|0; 1; ...; n-1|], the runnable array while everyone runs: shared
+     by every run through this scheduler instead of re-allocated. *)
+  all_pids : int array;
 }
 
 (* [caches] is sized lazily by the largest register id seen. *)
@@ -171,6 +174,8 @@ let create ?(seed = 0x5EEDL) ?(record_trace = false) ?flip_oracle programs =
         })
       programs
   in
+  let n = Array.length programs in
+  let all_pids = Array.init n (fun pid -> pid) in
   let t =
     {
       rng;
@@ -180,13 +185,42 @@ let create ?(seed = 0x5EEDL) ?(record_trace = false) ?flip_oracle programs =
       events = [];
       flip_oracle;
       caches = [||];
-      cache_len = (Array.length programs + 7) / 8;
-      n_running = Array.length programs;
-      runnable_cache = None;
+      cache_len = (n + 7) / 8;
+      n_running = n;
+      runnable_cache = Some all_pids;
+      all_pids;
     }
   in
   Array.iteri (fun pid body -> start t procs.(pid) body) programs;
   t
+
+(* The arena-reuse path: restore a scheduler to the state [create]
+   would produce — same process count, same [record_trace] and
+   [flip_oracle] — without re-allocating the proc records, the cache
+   bitsets or the scheduler record itself. Shared registers are {e not}
+   reset here: the caller resets its [Memory.t] arenas (which restores
+   every register) and then resets the scheduler; see [Engine.run_local]
+   for the per-worker pattern. *)
+let reset ?(seed = 0x5EEDL) t programs =
+  if Array.length programs <> Array.length t.procs then
+    invalid_arg "Sched.reset: process count differs from create";
+  Rng.reseed t.rng seed;
+  t.s_time <- 0;
+  t.events <- [];
+  t.n_running <- Array.length t.procs;
+  t.runnable_cache <- Some t.all_pids;
+  Array.iter (fun bits -> Bytes.fill bits 0 t.cache_len '\000') t.caches;
+  Array.iter
+    (fun p ->
+      p.p_status <- Running;
+      p.p_susp <- None;
+      p.p_steps <- 0;
+      p.p_flips <- 0;
+      p.p_rmrs <- 0;
+      p.p_first_step <- -1;
+      p.p_finish <- -1)
+    t.procs;
+  Array.iteri (fun pid body -> start t t.procs.(pid) body) programs
 
 let n t = Array.length t.procs
 let time t = t.s_time
@@ -348,7 +382,9 @@ let run ?(max_total_steps = 10_000_000) t adv =
   let klass = adv.adv_klass in
   let pending_of pid = filter_pending klass t.procs.(pid) in
   while any_running t do
-    if t.s_time > max_total_steps then
+    (* Inclusive bound: an execution may take exactly [max_total_steps]
+       steps; needing even one more fails. *)
+    if t.s_time >= max_total_steps then
       failwith
         (Printf.sprintf "Sched.run: exceeded %d steps under adversary %s"
            max_total_steps adv.adv_name);

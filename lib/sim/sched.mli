@@ -67,6 +67,21 @@ val create :
     of {!Ctx.flip_geometric} with parameter [l]); returning [None] falls
     back to the scheduler's RNG. *)
 
+val reset : ?seed:int64 -> t -> (Ctx.t -> int) array -> unit
+(** [reset ~seed t programs] restores [t] to the state
+    [create ~seed programs] would produce — every process Running and
+    poised at its first operation, time 0, empty trace, reseeded RNG —
+    {e without} allocating new proc records, cache bitsets or runnable
+    arrays. [record_trace] and [flip_oracle] keep their [create]-time
+    values. [programs] must have the same length as at [create]; other
+    lengths raise [Invalid_argument].
+
+    Shared registers are not touched: callers recycling an algorithm
+    structure across trials must {!Memory.reset} the arena(s) it was
+    allocated from first, then [reset] the scheduler. A reused run is
+    bit-identical to a run on freshly created structures with the same
+    seed (tested in [test_sim.ml]). *)
+
 val n : t -> int
 val time : t -> int
 (** Total number of shared-memory steps performed so far. *)
@@ -109,9 +124,11 @@ val crash : t -> int -> unit
 val view : t -> klass -> view
 
 val run : ?max_total_steps:int -> t -> adversary -> unit
-(** Drive the execution until no process is running. Raises [Failure] if
-    [max_total_steps] (default [10_000_000]) is exceeded, which signals a
-    livelock bug rather than a legitimate long run. *)
+(** Drive the execution until no process is running. Raises [Failure]
+    when the execution needs more than [max_total_steps] (default
+    [10_000_000]) shared-memory steps — the bound is inclusive: a run
+    of exactly [max_total_steps] steps completes, one more fails. The
+    failure signals a livelock bug rather than a legitimate long run. *)
 
 val trace : t -> Op.event list
 (** Events in execution order; empty unless [record_trace] was set. *)

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Compare a fresh BENCH_results.json against the committed baseline and
+# fail on perf or allocation regressions beyond the tolerances below.
+#
+#   usage: perf_regress.sh [current.json] [baseline.json]
+#
+# Tolerances, and why they differ:
+#   - throughput (trials/sec, domains=1): current must be >= 50% of the
+#     baseline. Wall-clock in shared containers is noisy, so the bar is
+#     deliberately loose; it still catches an accidental return to
+#     per-trial arena construction (a ~9x cliff).
+#   - minor words per trial (domains=1): current must be <= 130% of the
+#     baseline. Allocation is deterministic, so this is the tight,
+#     noise-free regression signal for the trial hot path.
+#   - per-experiment wall clock: <= 4x baseline + 1s grace each, again
+#     loose because the families are timed once, not averaged.
+#   - schema/bit_identical: exact.
+set -eu
+
+CUR=${1:-BENCH_results.json}
+BASE=${2:-BENCH_baseline.json}
+
+fail() {
+    echo "perf-regress: FAIL: $*" >&2
+    exit 1
+}
+
+[ -f "$CUR" ] || fail "missing $CUR (run 'make perf-bench' first)"
+[ -f "$BASE" ] || fail "missing baseline $BASE"
+
+jq -e '.schema_version == 2' "$CUR" >/dev/null \
+    || fail "$CUR: schema_version != 2"
+jq -e '.schema_version == 2' "$BASE" >/dev/null \
+    || fail "$BASE: schema_version != 2"
+jq -e '.parallel_sweep.bit_identical == true' "$CUR" >/dev/null \
+    || fail "$CUR: parallel sweep not bit-identical across domain counts"
+
+cur_tps=$(jq '.parallel_sweep.trials_per_sec_domains_1' "$CUR")
+base_tps=$(jq '.parallel_sweep.trials_per_sec_domains_1' "$BASE")
+awk -v c="$cur_tps" -v b="$base_tps" 'BEGIN { exit !(c >= 0.5 * b) }' \
+    || fail "throughput regression: $cur_tps trials/s vs baseline $base_tps (< 50%)"
+
+cur_words=$(jq '.parallel_sweep.minor_words_per_trial_domains_1' "$CUR")
+base_words=$(jq '.parallel_sweep.minor_words_per_trial_domains_1' "$BASE")
+awk -v c="$cur_words" -v b="$base_words" 'BEGIN { exit !(c <= 1.3 * b) }' \
+    || fail "allocation regression: $cur_words minor words/trial vs baseline $base_words (> 130%)"
+
+status=0
+for id in $(jq -r '.experiments[].id' "$BASE"); do
+    base_wall=$(jq -r --arg id "$id" \
+        '.experiments[] | select(.id == $id) | .wall_s' "$BASE")
+    cur_wall=$(jq -r --arg id "$id" \
+        '.experiments[] | select(.id == $id) | .wall_s' "$CUR")
+    if [ -z "$cur_wall" ]; then
+        echo "perf-regress: FAIL: experiment $id missing from $CUR" >&2
+        status=1
+        continue
+    fi
+    awk -v c="$cur_wall" -v b="$base_wall" \
+        'BEGIN { exit !(c <= 4 * b + 1.0) }' \
+        || { echo "perf-regress: FAIL: $id took ${cur_wall}s vs baseline ${base_wall}s (> 4x + 1s)" >&2; status=1; }
+done
+[ "$status" -eq 0 ] || exit 1
+
+echo "perf-regress: OK ($cur_tps trials/s vs baseline $base_tps;" \
+    "$cur_words minor words/trial vs baseline $base_words)"

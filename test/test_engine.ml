@@ -98,11 +98,107 @@ let test_reduce_matches_fold () =
       checkb "reduce = sequential fold" true (got = expect))
     [ (1, None); (4, None); (3, Some 1); (2, Some 7) ]
 
+let test_reduce_noncommutative () =
+  (* String concatenation: associative, identity "", emphatically not
+     commutative. Any reordering of trials or chunk merges shows up as a
+     scrambled word. *)
+  let reducer =
+    {
+      Engine.empty = (fun () -> "");
+      add = (fun acc x -> acc ^ x);
+      merge = ( ^ );
+    }
+  in
+  let letter ~trial ~seed:_ =
+    String.make 1 (Char.chr (Char.code 'a' + (trial mod 26)))
+  in
+  let expect = String.init 60 (fun t -> Char.chr (Char.code 'a' + (t mod 26))) in
+  List.iter
+    (fun (domains, chunk) ->
+      Alcotest.(check string)
+        (Printf.sprintf "order preserved at domains=%d" domains)
+        expect
+        (Engine.reduce ~domains ?chunk ~trials:60 ~seed:6L ~reducer letter))
+    [ (1, None); (4, None); (3, Some 1); (2, Some 7); (5, Some 13) ]
+
 let test_mean_domain_independent () =
   let f ~trial:_ ~seed = Int64.to_float (Int64.rem seed 1000L) in
   let m1 = Engine.mean ~domains:1 ~trials:50 ~seed:4L f in
   let m4 = Engine.mean ~domains:4 ~trials:50 ~seed:4L f in
   checkb "identical float mean" true (m1 = m4)
+
+(* {1 Unboxed sinks and the arena-reuse hot path} *)
+
+let test_run_float_matches_run () =
+  let f ~trial ~seed =
+    Int64.to_float (Int64.rem seed 1000L) +. (float_of_int trial /. 7.0)
+  in
+  let boxed = Engine.run ~domains:1 ~trials:40 ~seed:8L f in
+  List.iter
+    (fun domains ->
+      let fa = Engine.run_float ~domains ~trials:40 ~seed:8L
+          ~local:(fun () -> ()) (fun () -> f)
+      in
+      checki "length" 40 (Float.Array.length fa);
+      for t = 0 to 39 do
+        checkb "slot t bit-identical to boxed run" true
+          (Float.Array.get fa t = boxed.(t))
+      done)
+    [ 1; 4 ]
+
+let test_run_into_writer () =
+  let sink = Array.make 30 (-1) in
+  let stats =
+    Engine.run_into ~domains:3 ~chunk:4 ~trials:30 ~seed:10L
+      ~local:(fun () -> ())
+      (fun () ~trial ~seed:_ -> sink.(trial) <- trial * trial)
+  in
+  Alcotest.(check (array int)) "writer fills caller's sink"
+    (Array.init 30 (fun t -> t * t))
+    sink;
+  let total =
+    Array.fold_left (fun a (w : Engine.worker_stats) -> a + w.Engine.w_trials)
+      0 stats
+  in
+  checki "worker trial counts sum to the batch" 30 total;
+  let chunks =
+    Array.fold_left (fun a (w : Engine.worker_stats) -> a + w.Engine.w_chunks)
+      0 stats
+  in
+  checki "chunk counts cover the batch" ((30 + 3) / 4) chunks
+
+let test_run_local_arena_per_worker () =
+  (* Each worker gets exactly one arena: with domains:1 every trial sees
+     the same one, and mutating it between trials is visible (that is
+     the whole point — reuse instead of rebuild). *)
+  let built = Atomic.make 0 in
+  let r =
+    Engine.run_local ~domains:1 ~trials:12 ~seed:11L
+      ~local:(fun () ->
+        Atomic.incr built;
+        ref 0)
+      (fun cell ~trial:_ ~seed:_ ->
+        incr cell;
+        !cell)
+  in
+  checki "one arena for the single worker" 1 (Atomic.get built);
+  Alcotest.(check (array int)) "arena state carries across trials"
+    (Array.init 12 (fun i -> i + 1))
+    r
+
+let test_perf_arena_reuse_matches_fresh () =
+  (* The benchmark workload itself: a reused arena must reproduce the
+     trial-by-trial outputs of freshly built systems. *)
+  let arena = Experiments.make_perf_arena () in
+  for trial = 0 to 4 do
+    let seed = Sim.Rng.derive Experiments.base_seed ~stream:trial in
+    let reused = Experiments.perf_trial arena ~seed in
+    let fresh_arena = Experiments.make_perf_arena () in
+    let fresh = Experiments.perf_trial fresh_arena ~seed in
+    checkb
+      (Printf.sprintf "trial %d: reused = fresh" trial)
+      true (reused = fresh)
+  done
 
 (* {1 Aggregated tables: chaos reports across domain counts} *)
 
@@ -152,7 +248,8 @@ let test_explore_matches_sequential () =
   let parallel =
     Engine.explore ~domains:4 ~depth:6 ~programs:duel_programs ~check ()
   in
-  checki "same number of executions" sequential parallel;
+  checki "same number of executions" sequential parallel.Engine.executions;
+  checkb "exhaustive search is not truncated" false parallel.Engine.truncated;
   checki "check ran once per execution" seen_seq (Atomic.get paths);
   checki "one winner per execution" seen_seq (Atomic.get winners)
 
@@ -168,8 +265,25 @@ let test_explore_crash_subtrees () =
     Engine.explore ~domains:3 ~max_crashes:1 ~depth:4 ~programs:duel_programs
       ~check ()
   in
-  checki "crash-aware counts agree" sequential parallel;
-  checki "checked every execution" parallel (Atomic.get count)
+  checki "crash-aware counts agree" sequential parallel.Engine.executions;
+  checkb "exhaustive search is not truncated" false parallel.Engine.truncated;
+  checki "checked every execution" parallel.Engine.executions (Atomic.get count)
+
+let test_explore_truncation_reported () =
+  (* A budget far below the tree size must be reported, never silently
+     swallowed (the duel tree at depth 6 has hundreds of executions). *)
+  List.iter
+    (fun domains ->
+      let r =
+        Engine.explore ~domains ~max_paths:5 ~depth:6 ~programs:duel_programs
+          ~check:(fun _ -> ())
+          ()
+      in
+      checkb
+        (Printf.sprintf "domains=%d: truncation is flagged" domains)
+        true r.Engine.truncated;
+      checkb "budget respected" true (r.Engine.executions <= 5))
+    [ 1; 4 ]
 
 (* {1 RMR accounting: bitset caches vs a Hashtbl reference}
 
@@ -305,8 +419,21 @@ let () =
           Alcotest.test_case "exception propagates" `Quick
             test_run_exception_propagates;
           Alcotest.test_case "reduce = fold" `Quick test_reduce_matches_fold;
+          Alcotest.test_case "non-commutative reduce ordered" `Quick
+            test_reduce_noncommutative;
           Alcotest.test_case "mean domain independent" `Quick
             test_mean_domain_independent;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "run_float matches run" `Quick
+            test_run_float_matches_run;
+          Alcotest.test_case "run_into writer + stats" `Quick
+            test_run_into_writer;
+          Alcotest.test_case "one arena per worker" `Quick
+            test_run_local_arena_per_worker;
+          Alcotest.test_case "perf arena reuse = fresh" `Quick
+            test_perf_arena_reuse_matches_fresh;
         ] );
       ( "aggregate",
         [
@@ -318,6 +445,8 @@ let () =
           Alcotest.test_case "matches sequential" `Quick
             test_explore_matches_sequential;
           Alcotest.test_case "crash subtrees" `Quick test_explore_crash_subtrees;
+          Alcotest.test_case "truncation reported" `Quick
+            test_explore_truncation_reported;
         ] );
       ( "rmr",
         [

@@ -90,6 +90,43 @@ let test_rng_geometric_cap () =
     checki "l=1 always 1" 1 (Sim.Rng.geometric_capped r 1)
   done
 
+let test_rng_derive_adjacent_disjoint () =
+  (* Adjacent derived streams back the per-trial seeds of the engine:
+     stream t and stream t+1 must not share any outputs in a long
+     prefix, or neighbouring trials would be correlated. *)
+  let seed = 0x0E17A5EEDL in
+  let prefix = 512 in
+  for stream = 0 to 7 do
+    let a = Sim.Rng.create (Sim.Rng.derive seed ~stream) in
+    let b = Sim.Rng.create (Sim.Rng.derive seed ~stream:(stream + 1)) in
+    let seen = Hashtbl.create (2 * prefix) in
+    for _ = 1 to prefix do
+      Hashtbl.replace seen (Sim.Rng.next a) ()
+    done;
+    let overlap = ref 0 in
+    for _ = 1 to prefix do
+      if Hashtbl.mem seen (Sim.Rng.next b) then incr overlap
+    done;
+    checki
+      (Printf.sprintf "streams %d and %d share no outputs" stream (stream + 1))
+      0 !overlap
+  done
+
+let test_rng_reseed_matches_fresh () =
+  (* Arena reuse depends on [reseed] being indistinguishable from
+     [create]: a generator that ran arbitrarily long, once reseeded,
+     must replay exactly the fresh stream. *)
+  let used = Sim.Rng.create 99L in
+  for _ = 1 to 1234 do
+    ignore (Sim.Rng.next used)
+  done;
+  Sim.Rng.reseed used 42L;
+  let fresh = Sim.Rng.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "reseeded replays fresh stream" (Sim.Rng.next fresh)
+      (Sim.Rng.next used)
+  done
+
 (* {1 Memory and registers} *)
 
 let test_memory_counts () =
@@ -117,6 +154,23 @@ let test_register_ids_unique () =
   let rs = List.init 10 (fun _ -> Sim.Register.create mem) in
   let ids = List.map (fun (r : Sim.Register.t) -> r.Sim.Register.id) rs in
   checki "all distinct" 10 (List.length (List.sort_uniq compare ids))
+
+let test_memory_reset () =
+  let mem = Sim.Memory.create () in
+  let r1 = Sim.Register.create mem in
+  let r2 = Sim.Register.create mem in
+  Sim.Register.write r1 ~writer:3 42;
+  Sim.Register.write r2 ~writer:5 7;
+  Sim.Memory.reset mem;
+  checki "r1 back to initial" 0 (Sim.Register.read r1);
+  checki "r1 writer cleared" (-1) r1.Sim.Register.last_writer;
+  checki "r2 back to initial" 0 (Sim.Register.read r2);
+  checki "ids survive reset" 2 (Sim.Memory.allocated mem);
+  (* Registers allocated after a reset still enrol for the next one. *)
+  let r3 = Sim.Register.create mem in
+  Sim.Register.write r3 ~writer:1 9;
+  Sim.Memory.reset mem;
+  checki "late register also reset" 0 (Sim.Register.read r3)
 
 (* {1 Scheduler} *)
 
@@ -281,6 +335,87 @@ let test_max_total_steps () =
        Sim.Sched.run ~max_total_steps:100 sched (Sim.Adversary.round_robin ());
        false
      with Failure _ -> true)
+
+let test_max_total_steps_boundary () =
+  (* The bound is inclusive: an execution needing exactly N steps
+     succeeds with [~max_total_steps:N] and trips the guard at N-1. *)
+  let run_with bound =
+    let mem = Sim.Memory.create () in
+    let reg = Sim.Register.create mem in
+    let prog ctx =
+      for _ = 1 to 100 do
+        ignore (Sim.Ctx.read ctx reg)
+      done;
+      0
+    in
+    let sched = Sim.Sched.create [| prog |] in
+    Sim.Sched.run ~max_total_steps:bound sched (Sim.Adversary.round_robin ());
+    Sim.Sched.steps sched 0
+  in
+  checki "exactly the bound is allowed" 100 (run_with 100);
+  checkb "needing one more step fails" true
+    (try
+       ignore (run_with 99);
+       false
+     with Failure _ -> true)
+
+(* {1 Arena reuse: reset-and-rerun is bit-identical to fresh} *)
+
+(* A racy randomized workload: every process flips, writes its draw,
+   reads a neighbour and returns a value mixing both — so results are
+   sensitive to the RNG stream, the schedule, and leftover register
+   state alike. *)
+let reuse_progs regs n =
+  Array.init n (fun pid ctx ->
+      let draw = Sim.Ctx.flip ctx 1000 in
+      Sim.Ctx.write ctx regs.(pid) (draw + 1);
+      let seen = Sim.Ctx.read ctx regs.((pid + 1) mod n) in
+      (draw * 10_000) + seen)
+
+let reuse_fingerprint sched n =
+  List.init n (fun pid ->
+      ( Sim.Sched.result sched pid,
+        Sim.Sched.steps sched pid,
+        Sim.Sched.flips sched pid,
+        Sim.Sched.rmrs sched pid ))
+
+let test_sched_reset_bit_identical () =
+  let n = 8 in
+  let fresh_run seed =
+    let mem = Sim.Memory.create () in
+    let regs = Array.init n (fun _ -> Sim.Register.create mem) in
+    let sched = Sim.Sched.create ~seed (reuse_progs regs n) in
+    Sim.Sched.run sched (Sim.Adversary.random_oblivious ~seed);
+    reuse_fingerprint sched n
+  in
+  (* One arena, reset per trial — the engine's hot-path pattern. *)
+  let mem = Sim.Memory.create () in
+  let regs = Array.init n (fun _ -> Sim.Register.create mem) in
+  let progs = reuse_progs regs n in
+  let sched = Sim.Sched.create progs in
+  let reused_run seed =
+    Sim.Memory.reset mem;
+    Sim.Sched.reset ~seed sched progs;
+    Sim.Sched.run sched (Sim.Adversary.random_oblivious ~seed);
+    reuse_fingerprint sched n
+  in
+  List.iter
+    (fun seed ->
+      checkb
+        (Printf.sprintf "seed %Ld: reused arena matches fresh system" seed)
+        true
+        (fresh_run seed = reused_run seed))
+    [ 1L; 2L; 3L; 0xDEADL; 0x5EEDL ]
+
+let test_sched_reset_process_count_mismatch () =
+  let mem = Sim.Memory.create () in
+  let regs = Array.init 4 (fun _ -> Sim.Register.create mem) in
+  let sched = Sim.Sched.create (reuse_progs regs 4) in
+  checkb "reset rejects a different process count" true
+    (try
+       Sim.Sched.reset sched (reuse_progs regs 2);
+       false
+     with Invalid_argument _ -> true)
 
 (* {1 RMR accounting (cache-coherent model)} *)
 
@@ -627,6 +762,10 @@ let () =
           Alcotest.test_case "geometric support" `Quick test_rng_geometric_support;
           Alcotest.test_case "geometric distribution" `Quick test_rng_geometric_distribution;
           Alcotest.test_case "geometric cap" `Quick test_rng_geometric_cap;
+          Alcotest.test_case "adjacent streams disjoint" `Quick
+            test_rng_derive_adjacent_disjoint;
+          Alcotest.test_case "reseed matches fresh" `Quick
+            test_rng_reseed_matches_fresh;
         ] );
       ( "memory",
         [
@@ -634,6 +773,7 @@ let () =
           Alcotest.test_case "register initial" `Quick test_register_initial;
           Alcotest.test_case "register write" `Quick test_register_write;
           Alcotest.test_case "ids unique" `Quick test_register_ids_unique;
+          Alcotest.test_case "arena reset" `Quick test_memory_reset;
         ] );
       ( "sched",
         [
@@ -651,6 +791,12 @@ let () =
           Alcotest.test_case "first/finish times" `Quick test_first_and_finish_times;
           Alcotest.test_case "crash injection" `Quick test_with_crashes;
           Alcotest.test_case "livelock guard" `Quick test_max_total_steps;
+          Alcotest.test_case "step bound is inclusive" `Quick
+            test_max_total_steps_boundary;
+          Alcotest.test_case "reset bit-identical to fresh" `Quick
+            test_sched_reset_bit_identical;
+          Alcotest.test_case "reset rejects size change" `Quick
+            test_sched_reset_process_count_mismatch;
         ] );
       ( "rmr",
         [

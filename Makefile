@@ -1,4 +1,4 @@
-.PHONY: all check test build chaos-smoke bench-smoke perf-bench perf-regress clean
+.PHONY: all check test build chaos-smoke bench-smoke trace-smoke perf-bench perf-regress clean
 
 all: build
 
@@ -12,6 +12,7 @@ test: check
 # scripts/perf_regress.sh.
 check:
 	dune build && dune runtest
+	$(MAKE) trace-smoke
 	$(MAKE) perf-regress
 
 # Fast chaos smoke: small system, few trials, fixed seed, both the
@@ -33,6 +34,23 @@ bench-smoke:
 	  --trials 40 --scale 0.001 --out BENCH_smoke.json
 	jq -e '.schema_version == 2 and .parallel_sweep.bit_identical == true and (.parallel_sweep.trials_per_sec > 0) and .parallel_sweep.domains_requested == 2' BENCH_smoke.json >/dev/null
 	@echo "bench-smoke: BENCH_smoke.json OK"
+
+# Probe smoke: export a Perfetto trace from a small run and validate
+# its structure with jq (every event carries ph/ts/pid/tid; spans
+# balance: as many B as E events), then run a small profile batch and
+# check the JSON report names the expected phases. Scratch files only.
+trace-smoke:
+	dune exec bin/rtas_cli.exe -- trace --algo rr_classic -n 8 --seed 3 \
+	  -o trace.json
+	jq -e '.traceEvents | length > 0' trace.json >/dev/null
+	jq -e '[.traceEvents[] | select((has("ph") and has("ts") and has("pid") and has("tid")) | not)] | length == 0' trace.json >/dev/null
+	jq -e '([.traceEvents[] | select(.ph == "B")] | length) == ([.traceEvents[] | select(.ph == "E")] | length)' trace.json >/dev/null
+	dune exec bin/rtas_cli.exe -- profile --algos ge_logstar,chain,rr_classic \
+	  -n 32 -k 8 --trials 20 --seed 3 --json profile.json >/dev/null
+	jq -e '.algos | keys == ["chain", "ge_logstar", "rr_classic"]' profile.json >/dev/null
+	jq -e '[.algos.rr_classic.phases[].phase] | contains(["rr_tree", "rr_ascend", "rr_top"])' profile.json >/dev/null
+	jq -e '.algos.ge_logstar.phases[] | select(.phase == "ge_round") | .calls > 0 and .steps > 0' profile.json >/dev/null
+	@echo "trace-smoke: trace.json + profile.json OK"
 
 # Canonical perf run: regenerates BENCH_results.json (the numbers the
 # docs quote and perf-regress checks). Refresh BENCH_baseline.json from

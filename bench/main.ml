@@ -220,6 +220,14 @@ let write_json ~path ~domains ~domains_requested ~scale ~experiments ~sweep =
       add ",\n";
       add_workers buf "gc" s.workers;
       add ",\n";
+      (* Records that these numbers were measured with the Probe layer
+         compiled into the hot path but no sink installed — the
+         configuration the throughput gate doubles as an overhead gate
+         for (scripts/perf_regress.sh). *)
+      add
+        (Printf.sprintf
+           "    \"probe\": {\"compiled_in\": true, \"sink_installed\": %b},\n"
+           (Obs.Probe.enabled ()));
       add (Printf.sprintf "    \"bit_identical\": %b\n" s.bit_identical);
       add "  }\n");
   add "}\n";

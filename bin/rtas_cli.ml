@@ -263,6 +263,8 @@ let chaos_cmd =
     in
     let mode = if le then Fault.Chaos.Le else Fault.Chaos.Tas in
     let seed64 = Int64.of_int seed in
+    (* One Probe registry accumulates the whole sweep's fault totals. *)
+    let metrics = Obs.Metrics.create () in
     Fmt.pr "%-14s %-4s %6s %7s %8s %8s %9s %10s@." "impl" "mode" "prob"
       "trials" "crashes" "timeouts" "viols" "steps";
     let failures = ref [] in
@@ -275,8 +277,8 @@ let chaos_cmd =
         List.iter
           (fun crash_prob ->
             let r =
-              Fault.Chaos.run_point ~timeout ~retries ~domains ?plan ~mode
-                ~algorithm ~n ~k ~crash_prob ~trials ~seed:seed64 ()
+              Fault.Chaos.run_point ~timeout ~retries ~domains ~metrics ?plan
+                ~mode ~algorithm ~n ~k ~crash_prob ~trials ~seed:seed64 ()
             in
             Fmt.pr "%a@." Fault.Chaos.pp_report r;
             note r.Fault.Chaos.impl r.Fault.Chaos.failure_seeds
@@ -297,6 +299,7 @@ let chaos_cmd =
                 r.Fault.Mc_chaos.violations r.Fault.Mc_chaos.timeouts)
             probs)
         (Fault.Mc_chaos.impl_names ());
+    Fmt.pr "%a" Obs.Metrics.pp_snapshot (Obs.Metrics.snapshot metrics);
     match List.rev !failures with
     | [] -> Fmt.pr "chaos: no safety violations (seed %d).@." seed
     | failures ->
@@ -318,10 +321,185 @@ let chaos_cmd =
       $ trials_arg $ timeout_arg $ retries_arg $ le_flag $ mc_flag $ plan_arg
       $ domains_arg)
 
+(* {1 Probe subcommands: trace + profile} *)
+
+let target_arg =
+  let doc =
+    Printf.sprintf "Profiling target; one of: %s."
+      (String.concat ", " (Rtas.Probe_target.names ()))
+  in
+  Arg.(value & opt string "rr_classic" & info [ "algo" ] ~docv:"NAME" ~doc)
+
+let find_target name =
+  match Rtas.Probe_target.find name with
+  | Some t -> t
+  | None ->
+      Fmt.epr "rtas: unknown profiling target %S; try one of: %s@." name
+        (String.concat ", " (Rtas.Probe_target.names ()));
+      exit 2
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the Perfetto-loadable trace-event JSON.")
+  in
+  let trace algo n k seed adversary out =
+    let target = find_target algo in
+    let k = min k n in
+    let seed = Int64.of_int seed in
+    let chrome = Obs.Chrome_trace.create () in
+    let collector = Obs.Collector.create () in
+    let snapshot =
+      Obs.with_sink
+        (Obs.tee (Obs.Chrome_trace.sink chrome) (Obs.Collector.sink collector))
+        (fun () ->
+          let mem = Sim.Memory.create () in
+          let progs = target.Rtas.Probe_target.pt_programs mem ~n ~k in
+          let sched = Sim.Sched.create ~seed progs in
+          Sim.Sched.run sched (make_adversary adversary seed);
+          Obs.Collector.snapshot collector)
+    in
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Obs.Chrome_trace.output chrome oc);
+    Fmt.pr "wrote %s (%d events); load it at ui.perfetto.dev@." out
+      (Obs.Chrome_trace.n_events chrome);
+    Fmt.pr "%a" Rtas.Probe_report.pp_profile snapshot
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one execution with the Probe tracer attached and export a \
+          Perfetto-loadable Chrome trace (one track per process, phase \
+          spans, per-step instants) plus the per-phase attribution table.")
+    Term.(
+      const trace $ target_arg $ n_arg $ k_arg $ seed_arg $ adversary_arg
+      $ out_arg)
+
+let profile_cmd =
+  let algos_arg =
+    let doc =
+      Printf.sprintf "Comma-separated profiling targets; any of: %s."
+        (String.concat ", " (Rtas.Probe_target.names ()))
+    in
+    Arg.(
+      value
+      & opt (list string) [ "ge_logstar"; "chain"; "rr_classic" ]
+      & info [ "algos" ] ~docv:"NAMES" ~doc)
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "trials" ] ~docv:"T" ~doc:"Trials per target.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the per-target profiles as one JSON document.")
+  in
+  let profile algos n k trials seed adversary domains json =
+    let k = min k n in
+    let seed64 = Int64.of_int seed in
+    let profiles =
+      List.map
+        (fun name ->
+          let target = find_target name in
+          (* Per-worker arena + collector: the collector rides in via
+             [probe]; each trial resets the arena and re-runs. The arena
+             itself is built unobserved (sink set aside) — [Sched.reset]
+             re-reads the ambient sink, so every trial is probed while
+             the one-off construction pollutes no phase accounting. *)
+          let _stats, collectors =
+            Engine.run_probed ~domains ~trials ~seed:seed64
+              ~probe:(fun () ->
+                let c = Obs.Collector.create () in
+                (c, Obs.Collector.sink c))
+              ~local:(fun c ->
+                let cur = Obs.Probe.current () in
+                Obs.Probe.uninstall ();
+                let mem = Sim.Memory.create () in
+                let progs = target.Rtas.Probe_target.pt_programs mem ~n ~k in
+                let sched =
+                  Sim.Sched.create ~seed:(Sim.Rng.derive seed64 ~stream:0)
+                    progs
+                in
+                (match cur with Some s -> Obs.Probe.install s | None -> ());
+                let winners =
+                  Obs.Metrics.counter (Obs.Collector.metrics c) "winners"
+                in
+                (mem, progs, sched, winners))
+              (fun (mem, progs, sched, winners) ~trial:_ ~seed ->
+                Sim.Memory.reset mem;
+                Sim.Sched.reset ~seed sched progs;
+                Sim.Sched.run sched (make_adversary adversary seed);
+                for pid = 0 to Sim.Sched.n sched - 1 do
+                  if Sim.Sched.result sched pid = Some 1 then
+                    Obs.Metrics.incr winners
+                done)
+          in
+          let snapshot =
+            List.fold_left Obs.Collector.merge Obs.Collector.empty_snapshot
+              (List.map Obs.Collector.snapshot collectors)
+          in
+          (name, snapshot))
+        algos
+    in
+    List.iter
+      (fun (name, snapshot) ->
+        Fmt.pr "== %s (n=%d k=%d trials=%d adversary=%s) ==@." name n k trials
+          adversary;
+        Fmt.pr "%a@." Rtas.Probe_report.pp_profile snapshot)
+      profiles;
+    match json with
+    | None -> ()
+    | Some file ->
+        let buf = Buffer.create 4096 in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"n\":%d,\"k\":%d,\"trials\":%d,\"seed\":%d,\"algos\":{" n k
+             trials seed);
+        List.iteri
+          (fun i (name, snapshot) ->
+            if i > 0 then Buffer.add_string buf ",";
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\":%s" name
+                 (Rtas.Probe_report.snapshot_to_json snapshot)))
+          profiles;
+        Buffer.add_string buf "}}\n";
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> Buffer.output_buffer oc buf);
+        Fmt.pr "wrote %s@." file
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run batches of trials with per-phase Probe collectors attached \
+          (one per engine worker, merged after the join) and print \
+          per-phase step/RMR attribution tables.")
+    Term.(
+      const profile $ algos_arg $ n_arg $ k_arg $ trials_arg $ seed_arg
+      $ adversary_arg $ domains_arg $ json_arg)
+
 let main =
   Cmd.group
     (Cmd.info "rtas" ~version:"1.0.0"
        ~doc:"Randomized test-and-set (Giakkoupis-Woelfel PODC 2012) playground.")
-    [ run_cmd; list_cmd; sweep_cmd; covering_cmd; yao_cmd; chaos_cmd ]
+    [
+      run_cmd;
+      list_cmd;
+      sweep_cmd;
+      covering_cmd;
+      yao_cmd;
+      chaos_cmd;
+      trace_cmd;
+      profile_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

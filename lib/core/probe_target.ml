@@ -1,0 +1,64 @@
+(* Profiling targets: the catalogue behind [rtas_cli trace] and
+   [rtas_cli profile]. A target names a program family the probe layer
+   knows how to run — either a full leader election from {!Registry} or
+   a bare building block (one GroupElect round, one RatRace) that is
+   interesting to profile on its own. *)
+
+type t = {
+  pt_name : string;
+  pt_doc : string;
+  pt_programs : Sim.Memory.t -> n:int -> k:int -> (Sim.Ctx.t -> int) array;
+      (** Build the structure in [mem] dimensioned for [n] processes and
+          return one program per participant ([k] of them); programs
+          return 1 for a winner, 0 otherwise. *)
+}
+
+let of_registry (e : Registry.entry) =
+  {
+    pt_name = e.Registry.name;
+    pt_doc =
+      Printf.sprintf "%s leader election, %s space (%s)" e.Registry.steps
+        e.Registry.space e.Registry.reference;
+    pt_programs =
+      (fun mem ~n ~k -> Leaderelect.Le.programs (e.Registry.make mem ~n) ~k);
+  }
+
+let ge_logstar =
+  {
+    pt_name = "ge_logstar";
+    pt_doc = "one Figure-1 GroupElect round (phase: ge_round)";
+    pt_programs =
+      (fun mem ~n ~k ->
+        let ge = Groupelect.Ge_logstar.create mem ~n in
+        Array.init k (fun _ ctx -> if ge.Groupelect.Ge.elect ctx then 1 else 0));
+  }
+
+let chain =
+  {
+    pt_name = "chain";
+    pt_doc =
+      "log* chain leader election (phases: chain_forward, chain_backward, \
+       ge_round)";
+    pt_programs =
+      (fun mem ~n ~k ->
+        Leaderelect.Le.programs (Leaderelect.Le_logstar.make mem ~n) ~k);
+  }
+
+let rr_classic =
+  {
+    pt_name = "rr_classic";
+    pt_doc =
+      "classic RatRace (phases: rr_tree, rr_ascend, rr_grid, rr_top)";
+    pt_programs =
+      (fun mem ~n ~k ->
+        let rr = Ratrace.Rr_classic.create mem ~n in
+        Array.init k (fun _ ctx ->
+            if Ratrace.Rr_classic.elect rr ctx then 1 else 0));
+  }
+
+(* The special targets come first so their names win lookups; registry
+   entries whose names clash with nothing follow. *)
+let all = [ ge_logstar; chain; rr_classic ] @ List.map of_registry Registry.all
+
+let find name = List.find_opt (fun t -> t.pt_name = name) all
+let names () = List.map (fun t -> t.pt_name) all

@@ -1,0 +1,26 @@
+(** Profiling targets for [rtas_cli trace]/[rtas_cli profile]: program
+    families the probe layer can run and attribute — the {!Registry}
+    leader elections plus bare building blocks (a single GroupElect
+    round, a RatRace) worth profiling on their own. *)
+
+type t = {
+  pt_name : string;
+  pt_doc : string;
+  pt_programs : Sim.Memory.t -> n:int -> k:int -> (Sim.Ctx.t -> int) array;
+      (** Build the structure in [mem] dimensioned for [n] processes and
+          return one program per participant ([k] of them); programs
+          return 1 for a winner, 0 otherwise. *)
+}
+
+val ge_logstar : t
+(** One Figure-1 GroupElect round; winners are the group survivors, so
+    profiling it measures the paper's f(k) bound directly. *)
+
+val chain : t
+(** The log* chain construction (same programs as registry ["log*"]). *)
+
+val rr_classic : t
+
+val all : t list
+val find : string -> t option
+val names : unit -> string list

@@ -13,6 +13,12 @@
 module Registry = Registry
 module Election = Election
 
+(** Profiling targets and report rendering for the Probe observability
+    layer ([rtas_cli trace]/[rtas_cli profile]). *)
+module Probe_target = Probe_target
+
+module Probe_report = Probe_report
+
 (** The simulation substrate: registers, effect-based processes,
     adversarial schedulers, bounded model checking. *)
 module Sim = Sim

@@ -179,6 +179,44 @@ let dispatch ~domains ~chunk ~lo ~hi ~local one =
     | None, None -> stats
   end
 
+(* Probed batches: each participating worker builds its own probe
+   handle + sink via [probe ()] inside its domain, installs the sink in
+   that domain's Probe slot, and builds its arena with the handle in
+   scope. Handles land in per-worker slots claimed off an atomic
+   counter (claim order is scheduling-dependent, which is why callers
+   get a list to merge with an associative, commutative merge). Helper
+   domains die with their sink installed — only the calling domain's
+   slot needs restoring. *)
+let run_probed ?domains ?chunk ~trials ~seed ~probe ~local f =
+  if trials < 0 then invalid_arg "Engine: trials must be >= 0";
+  let domains = resolve_domains domains in
+  let nworkers =
+    if trials <= 0 then 0
+    else if domains = 1 || trials = 1 then 1
+    else min domains trials
+  in
+  let handles = Array.make (max nworkers 1) None in
+  let widx = Atomic.make 0 in
+  let prev = Obs.Probe.current () in
+  let local_w () =
+    let w = Atomic.fetch_and_add widx 1 in
+    let h, sink = probe () in
+    handles.(w) <- Some h;
+    Obs.Probe.install sink;
+    local h
+  in
+  let restore () =
+    match prev with
+    | Some s -> Obs.Probe.install s
+    | None -> Obs.Probe.uninstall ()
+  in
+  let stats =
+    Fun.protect ~finally:restore (fun () ->
+        dispatch ~domains ~chunk ~lo:0 ~hi:trials ~local:local_w (fun l t ->
+            f l ~trial:t ~seed:(Sim.Rng.derive seed ~stream:t)))
+  in
+  (stats, List.filter_map Fun.id (Array.to_list handles))
+
 let run_into ?domains ?chunk ~trials ~seed ~local write =
   if trials < 0 then invalid_arg "Engine: trials must be >= 0";
   let domains = resolve_domains domains in

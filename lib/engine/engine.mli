@@ -103,6 +103,28 @@ val run_float :
     a [floatarray]: no per-trial allocation on the result path at all
     (pass [~local:(fun () -> ())] when no arena is needed). *)
 
+val run_probed :
+  ?domains:int ->
+  ?chunk:int ->
+  trials:int ->
+  seed:int64 ->
+  probe:(unit -> 'p * Obs.Probe.sink) ->
+  local:('p -> 'w) ->
+  ('w -> trial:int -> seed:int64 -> unit) ->
+  worker_stats array * 'p list
+(** {!run_into} with per-worker observability: every participating
+    worker evaluates [probe ()] in its own domain to obtain a probe
+    handle (e.g. an [Obs.Collector.t]) plus the sink feeding it,
+    installs the sink in that domain's [Obs.Probe] slot {e before}
+    building its arena with [local], and the handles of all workers are
+    returned next to the usual {!worker_stats}. Because which worker
+    runs how many trials is scheduling-dependent, the handle list is in
+    no particular order — aggregate with an associative and commutative
+    merge ([Obs.Collector.merge] of the snapshots), which yields
+    domain-count-independent totals for domain-count-independent trial
+    bodies. The calling domain's previously installed sink (if any) is
+    restored afterwards. *)
+
 val run_into :
   ?domains:int ->
   ?chunk:int ->

@@ -77,8 +77,8 @@ let trial ?plan ~mode ~algorithm ~n ~k ~crash_prob ~seed () =
   in
   (count_crashed sched, Sim.Sched.time sched, violation)
 
-let run_point ?(timeout = 5.0) ?(retries = 2) ?(domains = 1) ?plan ~mode
-    ~algorithm ~n ~k ~crash_prob ~trials ~seed () =
+let run_point ?(timeout = 5.0) ?(retries = 2) ?(domains = 1) ?metrics ?plan
+    ~mode ~algorithm ~n ~k ~crash_prob ~trials ~seed () =
   (* Trials are independent — fan them out over the engine. Trial [t]
      always runs with [Rng.derive seed ~stream:t], and the watchdog
      outcomes are folded below in trial order, so the report (including
@@ -115,6 +115,16 @@ let run_point ?(timeout = 5.0) ?(retries = 2) ?(domains = 1) ?plan ~mode
           incr timeouts;
           failure_seeds := f.Watchdog.seeds_tried @ !failure_seeds)
     outcomes;
+  (* Chaos totals flow into the shared Probe registry next to whatever
+     else the caller is counting — same snapshot/merge machinery as the
+     per-phase collectors. *)
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      Obs.Metrics.add (Obs.Metrics.counter m "chaos.trials") trials;
+      Obs.Metrics.add (Obs.Metrics.counter m "chaos.crashes") !crashes;
+      Obs.Metrics.add (Obs.Metrics.counter m "chaos.violations") !violations;
+      Obs.Metrics.add (Obs.Metrics.counter m "chaos.livelock_timeouts") !timeouts);
   {
     impl = algorithm;
     mode;

@@ -38,6 +38,7 @@ val run_point :
   ?timeout:float ->
   ?retries:int ->
   ?domains:int ->
+  ?metrics:Obs.Metrics.t ->
   ?plan:Plan.t ->
   mode:mode ->
   algorithm:string ->
@@ -56,7 +57,13 @@ val run_point :
     the plan's own actions decide the faults). Trial [t] runs with
     [Sim.Rng.derive seed ~stream:t] on a pool of [domains] (default 1)
     domains via {!Engine.run}; the report, including [failure_seeds],
-    is identical for every domain count. *)
+    is identical for every domain count.
+
+    [metrics] additionally accumulates the point's totals into a Probe
+    registry as the counters [chaos.trials], [chaos.crashes],
+    [chaos.violations] and [chaos.livelock_timeouts], so chaos results
+    aggregate and print through the same [Obs.Metrics] snapshot
+    machinery as everything else. *)
 
 val sweep :
   ?timeout:float ->

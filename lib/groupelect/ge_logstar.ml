@@ -12,12 +12,18 @@ let create ?(name = "ge") mem ~n =
   in
   let flag = Sim.Register.create ~name:(name ^ ".flag") mem in
   let elect ctx =
-    if Sim.Ctx.read ctx flag = 1 then false
-    else begin
-      Sim.Ctx.write ctx flag 1;
-      let x = Sim.Ctx.flip_geometric ctx l in
-      Sim.Ctx.write ctx r.(x - 1) 1;
-      Sim.Ctx.read ctx r.(x) = 0
-    end
+    let pid = Sim.Ctx.pid ctx in
+    Obs.enter ~pid "ge_round";
+    let won =
+      if Sim.Ctx.read ctx flag = 1 then false
+      else begin
+        Sim.Ctx.write ctx flag 1;
+        let x = Sim.Ctx.flip_geometric ctx l in
+        Sim.Ctx.write ctx r.(x - 1) 1;
+        Sim.Ctx.read ctx r.(x) = 0
+      end
+    in
+    Obs.leave ~pid "ge_round";
+    won
   in
   { Ge.ge_name = name; elect }

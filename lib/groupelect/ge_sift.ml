@@ -9,11 +9,17 @@ let create ?(name = "sift") mem ~write_prob =
   in
   let threshold = max 1 threshold in
   let elect ctx =
-    if Sim.Ctx.flip ctx resolution < threshold then begin
-      Sim.Ctx.write ctx r 1;
-      true
-    end
-    else Sim.Ctx.read ctx r = 0
+    let pid = Sim.Ctx.pid ctx in
+    Obs.enter ~pid "sift_round";
+    let won =
+      if Sim.Ctx.flip ctx resolution < threshold then begin
+        Sim.Ctx.write ctx r 1;
+        true
+      end
+      else Sim.Ctx.read ctx r = 0
+    in
+    Obs.leave ~pid "sift_round";
+    won
   in
   { Ge.ge_name = name; elect }
 

@@ -22,6 +22,7 @@ let levels t = Array.length t.ges
 
 let forward t ctx ~from_level ~upto =
   let upto = min upto (Array.length t.ges) in
+  let pid = Sim.Ctx.pid ctx in
   let rec go i =
     if i >= upto then F_exhausted
     else if not (t.ges.(i).Groupelect.Ge.elect ctx) then F_lost
@@ -31,16 +32,23 @@ let forward t ctx ~from_level ~upto =
       | Primitives.Splitter.R -> go (i + 1)
       | Primitives.Splitter.S -> F_stopped i
   in
-  go from_level
+  Obs.enter ~pid "chain_forward";
+  let r = go from_level in
+  Obs.leave ~pid "chain_forward";
+  r
 
 let backward t ctx ~stopped_at =
+  let pid = Sim.Ctx.pid ctx in
   let rec go j =
     let port = if j = stopped_at then 0 else 1 in
     if Primitives.Le2.elect t.les.(j) ctx ~port then
       if j = 0 then true else go (j - 1)
     else false
   in
-  go stopped_at
+  Obs.enter ~pid "chain_backward";
+  let r = go stopped_at in
+  Obs.leave ~pid "chain_backward";
+  r
 
 let elect t ctx =
   match forward t ctx ~from_level:0 ~upto:(levels t) with

@@ -1,0 +1,30 @@
+(** Chrome trace-event exporter: renders the Probe event stream as
+    trace-event JSON loadable in Perfetto ({:https://ui.perfetto.dev})
+    or chrome://tracing.
+
+    One trace process ([pid] 1, named ["rtas-sim"]) holds one track per
+    simulated process ([tid] = simulator pid). Phase annotations become
+    [B]/[E] duration spans; steps, flips, crashes and finishes become
+    thread-scoped instant events ([ph = "i"]). Timestamps are simulation
+    time, one shared-memory step per microsecond. Spans left open by
+    crashed processes are closed automatically, so the emitted JSON
+    always balances. *)
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Probe.sink
+(** The sink feeding this trace; install with [Probe.install] or
+    [Probe.with_sink]. *)
+
+val n_events : t -> int
+(** Events emitted so far (metadata included). *)
+
+val to_string : t -> string
+(** Finalise (close any still-open spans) and render the complete JSON
+    document. After finalising, feeding further events raises
+    [Invalid_argument]. *)
+
+val output : t -> out_channel -> unit
+(** [output t oc] writes {!to_string} to [oc]. *)

@@ -31,6 +31,7 @@ let rec retrace t ctx = function
       else Lost
 
 let run ?(notify_stop = fun () -> ()) t ctx =
+  let pid = Sim.Ctx.pid ctx in
   let rec descend i j path =
     if i + j >= t.n then
       failwith "Backup_grid.run: process left the grid (more than n entrants?)"
@@ -42,4 +43,7 @@ let run ?(notify_stop = fun () -> ()) t ctx =
       | Primitives.Splitter.L -> descend (i + 1) j (((i, j), 1) :: path)
       | Primitives.Splitter.R -> descend i (j + 1) (((i, j), 2) :: path)
   in
-  descend 0 0 []
+  Obs.enter ~pid "rr_grid";
+  let r = descend 0 0 [] in
+  Obs.leave ~pid "rr_grid";
+  r

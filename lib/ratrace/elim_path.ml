@@ -28,6 +28,7 @@ let rec backward t ctx ~stopped_at j =
 
 let run ?(notify_stop = fun () -> ()) t ctx =
   let len = Array.length t.sps in
+  let pid = Sim.Ctx.pid ctx in
   let rec forward i =
     if i >= len then Fell_off
     else
@@ -38,4 +39,7 @@ let run ?(notify_stop = fun () -> ()) t ctx =
           notify_stop ();
           backward t ctx ~stopped_at:i i
   in
-  forward 0
+  Obs.enter ~pid "rr_elim";
+  let r = forward 0 in
+  Obs.leave ~pid "rr_elim";
+  r

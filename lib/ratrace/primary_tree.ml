@@ -26,25 +26,42 @@ let leaves t = 1 lsl t.h
 (* Ascend from node [v], having already won entry to its election on
    [port]. Moving up from a left child uses port 1, from a right child
    port 2. *)
-let rec ascend t ctx v ~port =
+let rec ascend_loop t ctx v ~port =
   if Primitives.Le3.elect t.les.(v) ctx ~port then
     if v = 1 then true
-    else ascend t ctx (v / 2) ~port:(if v land 1 = 0 then 1 else 2)
+    else ascend_loop t ctx (v / 2) ~port:(if v land 1 = 0 then 1 else 2)
   else false
+
+let ascend t ctx v ~port =
+  let pid = Sim.Ctx.pid ctx in
+  Obs.enter ~pid "rr_ascend";
+  let won = ascend_loop t ctx v ~port in
+  Obs.leave ~pid "rr_ascend";
+  won
 
 let run ?(notify_stop = fun () -> ()) t ctx =
   let first_leaf = 1 lsl t.h in
+  let pid = Sim.Ctx.pid ctx in
   let rec descend v =
     match Primitives.Rsplitter.split t.rsps.(v) ctx with
     | Primitives.Splitter.S ->
         notify_stop ();
+        Obs.leave ~pid "rr_tree";
         if ascend t ctx v ~port:0 then Won else Lost
     | Primitives.Splitter.L ->
-        if v >= first_leaf then Fell_off (v - first_leaf) else descend (2 * v)
+        if v >= first_leaf then begin
+          Obs.leave ~pid "rr_tree";
+          Fell_off (v - first_leaf)
+        end
+        else descend (2 * v)
     | Primitives.Splitter.R ->
-        if v >= first_leaf then Fell_off (v - first_leaf)
+        if v >= first_leaf then begin
+          Obs.leave ~pid "rr_tree";
+          Fell_off (v - first_leaf)
+        end
         else descend ((2 * v) + 1)
   in
+  Obs.enter ~pid "rr_tree";
   descend 1
 
 let ascend_from_leaf t ctx ~leaf =

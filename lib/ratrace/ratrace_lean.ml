@@ -34,12 +34,19 @@ let create ?(name = "rr-lean") mem ~n =
     leaves_per_path = h;
   }
 
+let top_elect t ctx ~port =
+  let pid = Sim.Ctx.pid ctx in
+  Obs.enter ~pid "rr_top";
+  let won = Primitives.Le2.elect t.top ctx ~port in
+  Obs.leave ~pid "rr_top";
+  won
+
 let elect ?notify_splitter_win t ctx =
   let notify_stop = match notify_splitter_win with Some f -> f | None -> fun () -> () in
-  let win_tree () = Primitives.Le2.elect t.top ctx ~port:0 in
+  let win_tree () = top_elect t ctx ~port:0 in
   let backup () =
     match Elim_path.run ~notify_stop t.backup ctx with
-    | Elim_path.Won -> Primitives.Le2.elect t.top ctx ~port:1
+    | Elim_path.Won -> top_elect t ctx ~port:1
     | Elim_path.Lost -> false
     | Elim_path.Fell_off ->
         failwith "Ratrace_lean: fell off the length-n backup path"

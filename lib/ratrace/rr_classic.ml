@@ -18,12 +18,19 @@ let create ?(name = "ratrace") mem ~n =
     top = Primitives.Le2.create ~name:(name ^ ".top") mem;
   }
 
+let top_elect t ctx ~port =
+  let pid = Sim.Ctx.pid ctx in
+  Obs.enter ~pid "rr_top";
+  let won = Primitives.Le2.elect t.top ctx ~port in
+  Obs.leave ~pid "rr_top";
+  won
+
 let elect ?notify_splitter_win t ctx =
   let notify_stop = match notify_splitter_win with Some f -> f | None -> fun () -> () in
   match Primary_tree.run ~notify_stop t.tree ctx with
-  | Primary_tree.Won -> Primitives.Le2.elect t.top ctx ~port:0
+  | Primary_tree.Won -> top_elect t ctx ~port:0
   | Primary_tree.Lost -> false
   | Primary_tree.Fell_off _ -> (
       match Backup_grid.run ~notify_stop t.grid ctx with
-      | Backup_grid.Won -> Primitives.Le2.elect t.top ctx ~port:1
+      | Backup_grid.Won -> top_elect t ctx ~port:1
       | Backup_grid.Lost -> false)

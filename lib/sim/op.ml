@@ -39,3 +39,5 @@ let pp_event ppf = function
       Fmt.pf ppf "[%d] p%d flip %d -> %d" time pid bound outcome
   | Finish { time; pid; result } -> Fmt.pf ppf "[%d] p%d finish %d" time pid result
   | Crash { time; pid } -> Fmt.pf ppf "[%d] p%d crash" time pid
+
+let event_to_string e = Fmt.str "%a" pp_event e

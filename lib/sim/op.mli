@@ -32,3 +32,7 @@ type event =
 val pp_kind : kind Fmt.t
 
 val pp_event : event Fmt.t
+
+val event_to_string : event -> string
+(** [event_to_string e] is {!pp_event} rendered to a string — handy for
+    comparing traces in tests ([Alcotest.(check (list string))]). *)

@@ -59,6 +59,11 @@ type t = {
   mutable s_time : int;
   record_trace : bool;
   mutable events : Op.event list;  (* reversed *)
+  (* The ambient Probe sink, captured at [create]/[reset] so the hot
+     path tests one field instead of reading the domain-local slot on
+     every step. [None] costs a load and a branch per step — the same
+     class of overhead as [record_trace]. *)
+  mutable probe : Obs.Probe.sink option;
   flip_oracle : (pid:int -> bound:int -> int option) option;
   (* Cache-coherence bookkeeping for RMR accounting: per register (by
      allocation id) a bitset over pids of the processes holding a valid
@@ -94,14 +99,35 @@ let account_read t p reg_id =
   let b = Char.code (Bytes.unsafe_get bits byte) in
   if b land mask = 0 then begin
     p.p_rmrs <- p.p_rmrs + 1;
-    Bytes.unsafe_set bits byte (Char.unsafe_chr (b lor mask))
+    Bytes.unsafe_set bits byte (Char.unsafe_chr (b lor mask));
+    true
   end
+  else false
 
 let account_write t p reg_id =
   let bits = cache_bits t reg_id in
   Bytes.fill bits 0 t.cache_len '\000';
   Bytes.unsafe_set bits (p.pid lsr 3) (Char.unsafe_chr (1 lsl (p.pid land 7)));
   p.p_rmrs <- p.p_rmrs + 1
+
+(* Cached copies a write by [pid] would invalidate (register
+   contention). Off the hot path: only evaluated when a probe sink is
+   installed, before [account_write] clears the bitset. *)
+let count_other_cached t reg_id pid =
+  if reg_id >= Array.length t.caches then 0
+  else begin
+    let bits = t.caches.(reg_id) in
+    let n = ref 0 in
+    for i = 0 to t.cache_len - 1 do
+      let b = ref (Char.code (Bytes.unsafe_get bits i)) in
+      while !b <> 0 do
+        b := !b land (!b - 1);
+        incr n
+      done
+    done;
+    let byte = pid lsr 3 and mask = 1 lsl (pid land 7) in
+    if Char.code (Bytes.get bits byte) land mask <> 0 then !n - 1 else !n
+  end
 
 let draw t pid bound =
   match t.flip_oracle with
@@ -125,7 +151,10 @@ let start t p (body : Ctx.t -> int) =
     p.p_finish <- t.s_time;
     stopped_running t;
     if t.record_trace then
-      t.events <- Op.Finish { time = t.s_time; pid = p.pid; result } :: t.events
+      t.events <- Op.Finish { time = t.s_time; pid = p.pid; result } :: t.events;
+    match t.probe with
+    | None -> ()
+    | Some s -> s.on_finish ~time:t.s_time ~pid:p.pid ~result
   in
   let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
     fun eff ->
@@ -142,6 +171,9 @@ let start t p (body : Ctx.t -> int) =
               t.events <-
                 Op.Flip { time = t.s_time; pid = p.pid; bound; outcome }
                 :: t.events;
+            (match t.probe with
+            | None -> ()
+            | Some s -> s.on_flip ~time:t.s_time ~pid:p.pid ~bound ~outcome);
             continue k outcome)
     | Ctx.Flip_geom_eff l ->
         Some
@@ -152,6 +184,9 @@ let start t p (body : Ctx.t -> int) =
               t.events <-
                 Op.Flip { time = t.s_time; pid = p.pid; bound = -l; outcome }
                 :: t.events;
+            (match t.probe with
+            | None -> ()
+            | Some s -> s.on_flip ~time:t.s_time ~pid:p.pid ~bound:(-l) ~outcome);
             continue k outcome)
     | _ -> None
   in
@@ -183,6 +218,9 @@ let create ?(seed = 0x5EEDL) ?(record_trace = false) ?flip_oracle programs =
       s_time = 0;
       record_trace;
       events = [];
+      (* Captured before the programs start: flips fired while running
+         each program to its first operation already reach the sink. *)
+      probe = Obs.Probe.current ();
       flip_oracle;
       caches = [||];
       cache_len = (n + 7) / 8;
@@ -207,6 +245,9 @@ let reset ?(seed = 0x5EEDL) t programs =
   Rng.reseed t.rng seed;
   t.s_time <- 0;
   t.events <- [];
+  (* Re-read the ambient sink: a probe installed (or removed) since
+     [create] takes effect on the next trial, before programs restart. *)
+  t.probe <- Obs.Probe.current ();
   t.n_running <- Array.length t.procs;
   t.runnable_cache <- Some t.all_pids;
   Array.iter (fun bits -> Bytes.fill bits 0 t.cache_len '\000') t.caches;
@@ -272,7 +313,7 @@ let step t pid =
       p.p_susp <- None;
       match susp with
       | Blocked_read (r, k) ->
-          account_read t p r.Register.id;
+          let rmr = account_read t p r.Register.id in
           let v = Register.read r in
           if t.record_trace then
             t.events <-
@@ -287,8 +328,21 @@ let step t pid =
                   seen_writer = r.Register.last_writer;
                 }
               :: t.events;
+          (match t.probe with
+          | None -> ()
+          | Some s ->
+              s.on_step ~time:t.s_time ~pid:p.pid ~reg:r.Register.id
+                ~reg_name:r.Register.name ~write:false ~value:v ~rmr
+                ~invalidated:0);
           Effect.Deep.continue k v
       | Blocked_write (r, v, k) ->
+          (* Contention (copies this write invalidates) must be read off
+             the bitset before [account_write] clears it. *)
+          let invalidated =
+            match t.probe with
+            | None -> 0
+            | Some _ -> count_other_cached t r.Register.id p.pid
+          in
           account_write t p r.Register.id;
           Register.write r ~writer:p.pid v;
           if t.record_trace then
@@ -304,6 +358,12 @@ let step t pid =
                   seen_writer = -1;
                 }
               :: t.events;
+          (match t.probe with
+          | None -> ()
+          | Some s ->
+              s.on_step ~time:t.s_time ~pid:p.pid ~reg:r.Register.id
+                ~reg_name:r.Register.name ~write:true ~value:v ~rmr:true
+                ~invalidated);
           Effect.Deep.continue k ())
   | Running, None ->
       (* A running process is always poised at an operation: [create]
@@ -320,7 +380,10 @@ let crash t pid =
       p.p_susp <- None;
       stopped_running t;
       if t.record_trace then
-        t.events <- Op.Crash { time = t.s_time; pid } :: t.events
+        t.events <- Op.Crash { time = t.s_time; pid } :: t.events;
+      (match t.probe with
+      | None -> ()
+      | Some s -> s.on_crash ~time:t.s_time ~pid)
   | Finished _ | Crashed -> invalid_arg "Sched.crash: process is not running"
 
 let filter_pending klass p =

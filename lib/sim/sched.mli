@@ -65,7 +65,13 @@ val create :
     [flip_oracle] overrides coin flips, for model checking: it receives
     the flipping process and the bound ([-l] encodes the geometric draw
     of {!Ctx.flip_geometric} with parameter [l]); returning [None] falls
-    back to the scheduler's RNG. *)
+    back to the scheduler's RNG.
+
+    The ambient [Obs.Probe] sink is captured here (and re-read at each
+    {!reset}), so install a sink {e before} building the system under
+    observation; with no sink installed every probe point is a single
+    field test and the execution is bit-identical to an uninstrumented
+    one. *)
 
 val reset : ?seed:int64 -> t -> (Ctx.t -> int) array -> unit
 (** [reset ~seed t programs] restores [t] to the state
@@ -80,7 +86,13 @@ val reset : ?seed:int64 -> t -> (Ctx.t -> int) array -> unit
     structure across trials must {!Memory.reset} the arena(s) it was
     allocated from first, then [reset] the scheduler. A reused run is
     bit-identical to a run on freshly created structures with the same
-    seed (tested in [test_sim.ml]). *)
+    seed (tested in [test_sim.ml]).
+
+    [reset] discards all recorded events: with [record_trace] set,
+    {!trace} afterwards returns only events of the new (post-reset)
+    run, never a mix of runs. It also re-reads the ambient [Obs.Probe]
+    sink, so installing a sink between trials takes effect at the next
+    reset. *)
 
 val n : t -> int
 val time : t -> int
@@ -131,7 +143,10 @@ val run : ?max_total_steps:int -> t -> adversary -> unit
     failure signals a livelock bug rather than a legitimate long run. *)
 
 val trace : t -> Op.event list
-(** Events in execution order; empty unless [record_trace] was set. *)
+(** Events of the current run in execution order; empty unless
+    [record_trace] was set at {!create}. {!reset} clears the event log,
+    so after a reset this returns only events recorded since — the
+    trace never spans two trials. *)
 
 val max_steps : t -> int
 (** Maximum over processes of shared-memory steps taken. *)

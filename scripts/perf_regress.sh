@@ -35,6 +35,16 @@ jq -e '.schema_version == 2' "$BASE" >/dev/null \
 jq -e '.parallel_sweep.bit_identical == true' "$CUR" >/dev/null \
     || fail "$CUR: parallel sweep not bit-identical across domain counts"
 
+# The current run must have been measured with the Probe layer compiled
+# in but no sink installed: under that configuration the >= 50%
+# throughput gate below doubles as the probed-off overhead gate — a
+# probe point that allocates or dispatches with no sink installed shows
+# up here as a throughput regression. (The baseline predates the field,
+# so only CUR is checked.)
+jq -e '.parallel_sweep.probe.compiled_in == true
+       and .parallel_sweep.probe.sink_installed == false' "$CUR" >/dev/null \
+    || fail "$CUR: perf sweep must run with Probe compiled in and no sink installed"
+
 cur_tps=$(jq '.parallel_sweep.trials_per_sec_domains_1' "$CUR")
 base_tps=$(jq '.parallel_sweep.trials_per_sec_domains_1' "$BASE")
 awk -v c="$cur_tps" -v b="$base_tps" 'BEGIN { exit !(c >= 0.5 * b) }' \

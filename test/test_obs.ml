@@ -1,0 +1,553 @@
+(* Tests for the Probe observability layer: metrics merge algebra, the
+   no-sink bit-identity guarantee, per-worker collector merging across
+   domain counts, collector span accounting (incl. crashes), and the
+   structure of the Perfetto trace-event export. *)
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* {1 Metrics} *)
+
+let test_metrics_basics () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "steps" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  checki "counter value" 5 (Obs.Metrics.value c);
+  checkb "get-or-create returns the same counter" true
+    (Obs.Metrics.counter m "steps" == c);
+  let h = Obs.Metrics.histogram ~limits:[| 1; 2; 4 |] m "per_trial" in
+  List.iter (Obs.Metrics.observe h) [ 0; 1; 2; 3; 5; 100 ];
+  let sn = Obs.Metrics.snapshot m in
+  (match List.assoc_opt "per_trial" sn.Obs.Metrics.histograms with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some hs ->
+      check
+        Alcotest.(array int)
+        "bucket counts" [| 2; 1; 1; 2 |] hs.Obs.Metrics.hs_counts;
+      checki "n" 6 hs.Obs.Metrics.hs_n;
+      checki "sum" 111 hs.Obs.Metrics.hs_sum;
+      checki "min" 0 hs.Obs.Metrics.hs_min;
+      checki "max" 100 hs.Obs.Metrics.hs_max);
+  Alcotest.check_raises "counter/histogram kind clash"
+    (Invalid_argument "Metrics.histogram: \"steps\" is a counter") (fun () ->
+      ignore (Obs.Metrics.histogram m "steps"))
+
+let registry_with pairs hist_vals =
+  let m = Obs.Metrics.create () in
+  List.iter (fun (name, v) -> Obs.Metrics.add (Obs.Metrics.counter m name) v) pairs;
+  List.iter
+    (fun v -> Obs.Metrics.observe (Obs.Metrics.histogram m "h") v)
+    hist_vals;
+  Obs.Metrics.snapshot m
+
+let test_metrics_merge_associative () =
+  let a = registry_with [ ("x", 1); ("y", 2) ] [ 3; 9 ] in
+  let b = registry_with [ ("y", 5); ("z", 7) ] [ 1 ] in
+  let c = registry_with [ ("x", 10) ] [ 4000; 2 ] in
+  let left = Obs.Metrics.merge (Obs.Metrics.merge a b) c in
+  let right = Obs.Metrics.merge a (Obs.Metrics.merge b c) in
+  checkb "merge associative" true (left = right);
+  checkb "empty is left identity" true
+    (Obs.Metrics.merge Obs.Metrics.empty_snapshot a = a);
+  checkb "empty is right identity" true
+    (Obs.Metrics.merge a Obs.Metrics.empty_snapshot = a);
+  checkb "merge commutative" true
+    (Obs.Metrics.merge a b = Obs.Metrics.merge b a);
+  match List.assoc_opt "y" left.Obs.Metrics.counters with
+  | Some v -> checki "summed counter" 7 v
+  | None -> Alcotest.fail "merged counter missing"
+
+(* {1 Bit-identity: probing must never change the execution} *)
+
+let run_target ?probe_sink ~seed () =
+  let go () =
+    let mem = Sim.Memory.create () in
+    let progs =
+      Rtas.Probe_target.rr_classic.Rtas.Probe_target.pt_programs mem ~n:16
+        ~k:8
+    in
+    let sched = Sim.Sched.create ~record_trace:true ~seed progs in
+    Sim.Sched.run sched (Sim.Adversary.random_oblivious ~seed);
+    ( Sim.Sched.results sched,
+      Sim.Sched.time sched,
+      Sim.Sched.max_rmrs sched,
+      List.map Sim.Op.event_to_string (Sim.Sched.trace sched) )
+  in
+  match probe_sink with None -> go () | Some s -> Obs.with_sink s go
+
+let test_probed_run_bit_identical () =
+  let seed = 0xB17L in
+  let r_plain, t_plain, m_plain, trace_plain = run_target ~seed () in
+  let collector = Obs.Collector.create () in
+  let chrome = Obs.Chrome_trace.create () in
+  let r_probed, t_probed, m_probed, trace_probed =
+    run_target
+      ~probe_sink:
+        (Obs.tee (Obs.Collector.sink collector) (Obs.Chrome_trace.sink chrome))
+      ~seed ()
+  in
+  check
+    Alcotest.(array (option int))
+    "results identical" r_plain r_probed;
+  checki "total steps identical" t_plain t_probed;
+  checki "max rmrs identical" m_plain m_probed;
+  check Alcotest.(list string) "traces identical" trace_plain trace_probed;
+  (* The probed run actually observed the execution. *)
+  let sn = Obs.Collector.snapshot collector in
+  checki "collector saw every step" t_plain sn.Obs.Collector.sn_steps;
+  checki "collector saw every finish + crash" 8
+    (sn.Obs.Collector.sn_finishes + sn.Obs.Collector.sn_crashes);
+  checkb "trace has events" true (Obs.Chrome_trace.n_events chrome > 0)
+
+let test_reset_with_sink_bit_identical () =
+  let seed = 0xA5EEDL in
+  let r_fresh, t_fresh, m_fresh, trace_fresh = run_target ~seed () in
+  let collector = Obs.Collector.create () in
+  let r, t, m, trace =
+    Obs.with_sink (Obs.Collector.sink collector) (fun () ->
+        let mem = Sim.Memory.create () in
+        let progs =
+          Rtas.Probe_target.rr_classic.Rtas.Probe_target.pt_programs mem ~n:16
+            ~k:8
+        in
+        let sched = Sim.Sched.create ~record_trace:true ~seed:1L progs in
+        Sim.Sched.run sched (Sim.Adversary.random_oblivious ~seed:1L);
+        (* Reuse the arena: the second (reset) run must match a fresh
+           probed run bit for bit, and the trace only covers it. *)
+        Sim.Memory.reset mem;
+        Sim.Sched.reset ~seed sched progs;
+        Sim.Sched.run sched (Sim.Adversary.random_oblivious ~seed);
+        ( Sim.Sched.results sched,
+          Sim.Sched.time sched,
+          Sim.Sched.max_rmrs sched,
+          List.map Sim.Op.event_to_string (Sim.Sched.trace sched) ))
+  in
+  check Alcotest.(array (option int)) "results identical" r_fresh r;
+  checki "total steps identical" t_fresh t;
+  checki "max rmrs identical" m_fresh m;
+  check Alcotest.(list string) "post-reset trace = fresh trace" trace_fresh
+    trace
+
+(* {1 Engine.run_probed: per-worker collectors merge domain-independently} *)
+
+let probed_batch ~domains =
+  let _stats, collectors =
+    Engine.run_probed ~domains ~chunk:2 ~trials:12 ~seed:0xFEEDL
+      ~probe:(fun () ->
+        let c = Obs.Collector.create () in
+        (c, Obs.Collector.sink c))
+      ~local:(fun c -> c)
+      (fun c ~trial:_ ~seed ->
+        let mem = Sim.Memory.create () in
+        let progs =
+          Rtas.Probe_target.chain.Rtas.Probe_target.pt_programs mem ~n:16 ~k:6
+        in
+        let sched = Sim.Sched.create ~seed progs in
+        Sim.Sched.run sched (Sim.Adversary.random_oblivious ~seed);
+        let winners = Obs.Metrics.counter (Obs.Collector.metrics c) "winners" in
+        for pid = 0 to Sim.Sched.n sched - 1 do
+          if Sim.Sched.result sched pid = Some 1 then Obs.Metrics.incr winners
+        done)
+  in
+  List.fold_left Obs.Collector.merge Obs.Collector.empty_snapshot
+    (List.map Obs.Collector.snapshot collectors)
+
+let test_run_probed_domain_independent () =
+  let sn1 = probed_batch ~domains:1 in
+  let sn3 = probed_batch ~domains:3 in
+  checkb "batch saw work" true (sn1.Obs.Collector.sn_steps > 0);
+  checkb "merged snapshots equal across domain counts" true (sn1 = sn3);
+  match
+    List.assoc_opt "winners" sn1.Obs.Collector.sn_metrics.Obs.Metrics.counters
+  with
+  | Some w -> checki "one winner per trial" 12 w
+  | None -> Alcotest.fail "winners counter missing"
+
+let test_collector_merge_associative () =
+  let sn = probed_batch ~domains:1 in
+  let e = Obs.Collector.empty_snapshot in
+  checkb "empty left identity" true (Obs.Collector.merge e sn = sn);
+  checkb "empty right identity" true (Obs.Collector.merge sn e = sn);
+  checkb "self-merge doubles steps" true
+    ((Obs.Collector.merge sn sn).Obs.Collector.sn_steps
+    = 2 * sn.Obs.Collector.sn_steps)
+
+(* {1 Collector span accounting on a handcrafted program} *)
+
+let test_collector_attribution () =
+  let collector = Obs.Collector.create () in
+  Obs.with_sink (Obs.Collector.sink collector) (fun () ->
+      let mem = Sim.Memory.create () in
+      let r = Sim.Register.create ~name:"r" mem in
+      let program ctx =
+        let pid = Sim.Ctx.pid ctx in
+        Obs.enter ~pid "outer";
+        Sim.Ctx.write ctx r 1;
+        Obs.enter ~pid "inner";
+        ignore (Sim.Ctx.read ctx r);
+        ignore (Sim.Ctx.read ctx r);
+        Obs.leave ~pid "inner";
+        Sim.Ctx.write ctx r 2;
+        Obs.leave ~pid "outer";
+        0
+      in
+      let sched = Sim.Sched.create ~seed:1L [| program |] in
+      Sim.Sched.run sched (Sim.Adversary.round_robin ()));
+  let sn = Obs.Collector.snapshot collector in
+  let phase name =
+    match
+      List.find_opt
+        (fun p -> p.Obs.Collector.ps_phase = name)
+        sn.Obs.Collector.sn_phases
+    with
+    | Some p -> p
+    | None -> Alcotest.fail ("missing phase " ^ name)
+  in
+  let outer = phase "outer" and inner = phase "inner" in
+  (* Leaf attribution: the two reads inside "inner" belong to it, the
+     two writes outside it to "outer". *)
+  checki "outer calls" 1 outer.Obs.Collector.ps_calls;
+  checki "outer steps" 2 outer.Obs.Collector.ps_steps;
+  checki "outer writes" 2 outer.Obs.Collector.ps_writes;
+  checki "inner calls" 1 inner.Obs.Collector.ps_calls;
+  checki "inner steps" 2 inner.Obs.Collector.ps_steps;
+  (* First read after a write by the same pid is cached: 0 RMRs. *)
+  checki "inner rmrs" 0 inner.Obs.Collector.ps_rmrs;
+  checki "outer rmrs" 2 outer.Obs.Collector.ps_rmrs;
+  check
+    Alcotest.(array (float 1e-9))
+    "inner per-span steps sample" [| 2.0 |]
+    inner.Obs.Collector.ps_step_samples;
+  checki "nothing unattributed" 0
+    (phase "(unattributed)").Obs.Collector.ps_steps
+
+let test_collector_unclosed_on_crash () =
+  let collector = Obs.Collector.create () in
+  Obs.with_sink (Obs.Collector.sink collector) (fun () ->
+      let mem = Sim.Memory.create () in
+      let r = Sim.Register.create ~name:"r" mem in
+      let program ctx =
+        Obs.enter ~pid:(Sim.Ctx.pid ctx) "doomed";
+        ignore (Sim.Ctx.read ctx r);
+        ignore (Sim.Ctx.read ctx r);
+        Obs.leave ~pid:(Sim.Ctx.pid ctx) "doomed";
+        0
+      in
+      let sched = Sim.Sched.create ~seed:1L [| program |] in
+      Sim.Sched.step sched 0;
+      Sim.Sched.crash sched 0);
+  let sn = Obs.Collector.snapshot collector in
+  match sn.Obs.Collector.sn_phases with
+  | _ ->
+      let doomed =
+        List.find
+          (fun p -> p.Obs.Collector.ps_phase = "doomed")
+          sn.Obs.Collector.sn_phases
+      in
+      checki "no clean calls" 0 doomed.Obs.Collector.ps_calls;
+      checki "one unclosed span" 1 doomed.Obs.Collector.ps_unclosed;
+      checki "steps still attributed" 1 doomed.Obs.Collector.ps_steps;
+      checki "no per-span sample for crashed span" 0
+        (Array.length doomed.Obs.Collector.ps_step_samples);
+      checki "crash seen" 1 sn.Obs.Collector.sn_crashes
+
+(* {1 Perfetto export: JSON validity and span structure}
+
+   A miniature JSON parser — no JSON library in the tree — that accepts
+   exactly the standard grammar; enough to assert the exporter emits
+   well-formed documents with the fields Perfetto requires. *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some (('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') as c) ->
+              advance ();
+              Buffer.add_char b c;
+              go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let digits () =
+      let any = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+            any := true;
+            advance ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      if not !any then fail "expected digit"
+    in
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    Jnum (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Jobj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((key, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Jobj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Jarr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          Jarr (elements [])
+        end
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | _ -> fail "expected value"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let mem key = function Jobj kvs -> List.assoc_opt key kvs | _ -> None
+
+let test_chrome_trace_structure () =
+  let chrome = Obs.Chrome_trace.create () in
+  Obs.with_sink (Obs.Chrome_trace.sink chrome) (fun () ->
+      let mem = Sim.Memory.create () in
+      let progs =
+        Rtas.Probe_target.rr_classic.Rtas.Probe_target.pt_programs mem ~n:8
+          ~k:4
+      in
+      let sched = Sim.Sched.create ~seed:3L progs in
+      Sim.Sched.run sched (Sim.Adversary.random_oblivious ~seed:3L));
+  let doc =
+    match parse_json (Obs.Chrome_trace.to_string chrome) with
+    | doc -> doc
+    | exception Bad msg -> Alcotest.fail ("invalid JSON: " ^ msg)
+  in
+  let events =
+    match mem "traceEvents" doc with
+    | Some (Jarr evs) -> evs
+    | _ -> Alcotest.fail "missing traceEvents array"
+  in
+  checkb "has events" true (events <> []);
+  (* Perfetto essentials: every event carries ph/ts/pid/tid with the
+     right types, and B/E spans nest (LIFO per track). *)
+  let stacks : (float, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks tid s;
+        s
+  in
+  List.iter
+    (fun ev ->
+      let ph =
+        match mem "ph" ev with
+        | Some (Jstr p) -> p
+        | _ -> Alcotest.fail "event without ph"
+      in
+      (match (mem "ts" ev, mem "pid" ev, mem "tid" ev) with
+      | Some (Jnum _), Some (Jnum _), Some (Jnum _) -> ()
+      | _ -> Alcotest.fail "event missing ts/pid/tid number");
+      let name =
+        match mem "name" ev with
+        | Some (Jstr s) -> s
+        | _ -> Alcotest.fail "event without name"
+      in
+      let tid = match mem "tid" ev with Some (Jnum t) -> t | _ -> 0.0 in
+      match ph with
+      | "B" -> stack tid := name :: !(stack tid)
+      | "E" -> (
+          match !(stack tid) with
+          | top :: rest ->
+              check Alcotest.string "spans nest (E matches its B)" top name;
+              stack tid := rest
+          | [] -> Alcotest.fail "E without open B")
+      | "i" | "M" -> ()
+      | other -> Alcotest.fail ("unexpected ph " ^ other))
+    events;
+  Hashtbl.iter
+    (fun _ s -> checki "all spans closed" 0 (List.length !s))
+    stacks;
+  let phases =
+    List.filter_map
+      (fun ev ->
+        match (mem "ph" ev, mem "name" ev) with
+        | Some (Jstr "B"), Some (Jstr name) -> Some name
+        | _ -> None)
+      events
+  in
+  checkb "rr_tree span present" true (List.mem "rr_tree" phases)
+
+let test_chrome_trace_crash_closes_spans () =
+  let chrome = Obs.Chrome_trace.create () in
+  Obs.with_sink (Obs.Chrome_trace.sink chrome) (fun () ->
+      let mem = Sim.Memory.create () in
+      let r = Sim.Register.create ~name:"r" mem in
+      let program ctx =
+        Obs.enter ~pid:(Sim.Ctx.pid ctx) "doomed";
+        ignore (Sim.Ctx.read ctx r);
+        ignore (Sim.Ctx.read ctx r);
+        0
+      in
+      let sched = Sim.Sched.create ~seed:1L [| program |] in
+      Sim.Sched.step sched 0;
+      Sim.Sched.crash sched 0);
+  match parse_json (Obs.Chrome_trace.to_string chrome) with
+  | exception Bad msg -> Alcotest.fail ("invalid JSON: " ^ msg)
+  | doc -> (
+      match mem "traceEvents" doc with
+      | Some (Jarr evs) ->
+          let count ph =
+            List.length
+              (List.filter (fun ev -> mem "ph" ev = Some (Jstr ph)) evs)
+          in
+          checki "crashed span closed by exporter" (count "B") (count "E")
+      | _ -> Alcotest.fail "missing traceEvents")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and histograms" `Quick
+            test_metrics_basics;
+          Alcotest.test_case "merge is associative/commutative" `Quick
+            test_metrics_merge_associative;
+        ] );
+      ( "bit-identity",
+        [
+          Alcotest.test_case "probed run = plain run" `Quick
+            test_probed_run_bit_identical;
+          Alcotest.test_case "probed reset run = fresh run" `Quick
+            test_reset_with_sink_bit_identical;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "run_probed merges domain-independently" `Quick
+            test_run_probed_domain_independent;
+          Alcotest.test_case "collector merge algebra" `Quick
+            test_collector_merge_associative;
+        ] );
+      ( "collector",
+        [
+          Alcotest.test_case "leaf attribution" `Quick
+            test_collector_attribution;
+          Alcotest.test_case "crash leaves unclosed span" `Quick
+            test_collector_unclosed_on_crash;
+        ] );
+      ( "chrome-trace",
+        [
+          Alcotest.test_case "valid JSON, fields, nesting" `Quick
+            test_chrome_trace_structure;
+          Alcotest.test_case "crash closes open spans" `Quick
+            test_chrome_trace_crash_closes_spans;
+        ] );
+    ]

@@ -1,4 +1,4 @@
-.PHONY: all check test build chaos-smoke bench-smoke trace-smoke perf-bench perf-regress clean
+.PHONY: all check test build chaos-smoke bench-smoke trace-smoke mc-smoke perf-bench perf-regress clean
 
 all: build
 
@@ -13,6 +13,7 @@ test: check
 check:
 	dune build && dune runtest
 	$(MAKE) trace-smoke
+	$(MAKE) mc-smoke
 	$(MAKE) perf-regress
 
 # Fast chaos smoke: small system, few trials, fixed seed, both the
@@ -21,6 +22,13 @@ check:
 chaos-smoke:
 	dune exec bin/rtas_cli.exe -- chaos -n 16 -k 6 --trials 5 \
 	  --probs 0,0.05,0.2 --seed 42 --mc
+
+# Multicore smoke: every registry algorithm with an Atomic_mem backend
+# races real domains (2-way and 4-way) and must elect a unique winner
+# in every trial; the CLI exits non-zero otherwise.
+mc-smoke:
+	dune exec bin/rtas_cli.exe -- mc --domains 2 --trials 10 --seed 7
+	dune exec bin/rtas_cli.exe -- mc --domains 4 --trials 10 --seed 7
 
 # Fast bench smoke: a reduced perf sweep genuinely crossing domains
 # (--exact-domains skips the clamp to the host's recommended count),

@@ -487,6 +487,61 @@ let profile_cmd =
       const profile $ algos_arg $ n_arg $ k_arg $ trials_arg $ seed_arg
       $ adversary_arg $ domains_arg $ json_arg)
 
+let mc_cmd =
+  let mc_domains_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Contending domains (one slot each).")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "trials" ] ~docv:"T" ~doc:"Trials per algorithm.")
+  in
+  let mc domains trials seed =
+    if domains < 1 then failwith "mc: --domains must be >= 1";
+    let failed = ref false in
+    Fmt.pr "%-16s %8s %7s %10s  %s@." "algorithm" "domains" "trials"
+      "registers" "unique winner";
+    List.iter
+      (fun (e : Rtas.Registry.entry) ->
+        match e.Rtas.Registry.make_mc with
+        | None -> ()
+        | Some make_mc ->
+            let registers = ref 0 in
+            let violations = ref 0 in
+            for trial = 1 to trials do
+              let le = make_mc ~n:domains in
+              registers := Multicore.Mc_le.registers le;
+              let doms =
+                List.init domains (fun slot ->
+                    Domain.spawn (fun () ->
+                        let rng =
+                          Random.State.make [| seed; trial; slot; 0x3C0 |]
+                        in
+                        Multicore.Mc_le.elect le rng ~slot))
+              in
+              let results = List.map Domain.join doms in
+              let winners = List.length (List.filter Fun.id results) in
+              if winners <> 1 then incr violations
+            done;
+            if !violations > 0 then failed := true;
+            Fmt.pr "%-16s %8d %7d %10d  %s@." e.Rtas.Registry.name domains
+              trials !registers
+              (if !violations = 0 then "ok"
+               else Printf.sprintf "VIOLATED in %d/%d trials" !violations trials))
+      Rtas.Registry.all;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Run every registry algorithm that has a multicore backend on real \
+          domains (one per slot) and check that each trial elects a unique \
+          winner. Exits nonzero on any violation.")
+    Term.(const mc $ mc_domains_arg $ trials_arg $ seed_arg)
+
 let main =
   Cmd.group
     (Cmd.info "rtas" ~version:"1.0.0"
@@ -500,6 +555,7 @@ let main =
       chaos_cmd;
       trace_cmd;
       profile_cmd;
+      mc_cmd;
     ]
 
 let () = exit (Cmd.eval main)

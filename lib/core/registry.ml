@@ -1,6 +1,7 @@
 type entry = {
   name : string;
   make : Sim.Memory.t -> n:int -> Leaderelect.Le.t;
+  make_mc : (n:int -> Multicore.Mc_le.t) option;
   adversary : Sim.Sched.klass;
   steps : string;
   space : string;
@@ -12,6 +13,7 @@ let all =
     {
       name = "log*";
       make = Leaderelect.Le_logstar.make;
+      make_mc = None;
       adversary = Sim.Sched.Location_oblivious;
       steps = "O(log* k)";
       space = "O(n)";
@@ -20,6 +22,7 @@ let all =
     {
       name = "loglog";
       make = Leaderelect.Le_loglog.make;
+      make_mc = None;
       adversary = Sim.Sched.Rw_oblivious;
       steps = "O(log log k)";
       space = "O(n)";
@@ -28,6 +31,7 @@ let all =
     {
       name = "aa";
       make = Leaderelect.Aa.make;
+      make_mc = None;
       adversary = Sim.Sched.Rw_oblivious;
       steps = "O(log log n)";
       space = "O(n) (orig. O(n^3))";
@@ -36,6 +40,7 @@ let all =
     {
       name = "ratrace";
       make = Leaderelect.Rr_le.make_original;
+      make_mc = None;
       adversary = Sim.Sched.Adaptive;
       steps = "O(log k)";
       space = "Theta(n^3)";
@@ -44,6 +49,7 @@ let all =
     {
       name = "ratrace-lean";
       make = Leaderelect.Rr_le.make_lean;
+      make_mc = Some (fun ~n -> Multicore.Mc_rr_lean.le ~n);
       adversary = Sim.Sched.Adaptive;
       steps = "O(log k)";
       space = "Theta(n)";
@@ -52,6 +58,7 @@ let all =
     {
       name = "tournament";
       make = Leaderelect.Tournament.make;
+      make_mc = Some (fun ~n -> Multicore.Mc_tournament.le ~n);
       adversary = Sim.Sched.Adaptive;
       steps = "O(log n)";
       space = "Theta(n)";
@@ -60,6 +67,7 @@ let all =
     {
       name = "combined-log*";
       make = Combined.Combine.make_logstar;
+      make_mc = None;
       adversary = Sim.Sched.Location_oblivious;
       steps = "O(log* k) / O(log k) adaptive";
       space = "Theta(n)";
@@ -68,10 +76,29 @@ let all =
     {
       name = "combined-loglog";
       make = Combined.Combine.make_loglog;
+      make_mc = None;
       adversary = Sim.Sched.Rw_oblivious;
       steps = "O(log log k) / O(log k) adaptive";
       space = "Theta(n)";
       reference = "Corollary 4.2";
+    };
+    {
+      name = "sift";
+      make = Leaderelect.Sift_le.make;
+      make_mc = Some (fun ~n -> Multicore.Mc_sift.le ~n);
+      adversary = Sim.Sched.Rw_oblivious;
+      steps = "O(log log n + log n)";
+      space = "Theta(n)";
+      reference = "Alistarh-Aspnes 2011 + Afek et al. 1992";
+    };
+    {
+      name = "elim";
+      make = Leaderelect.Elim_le.make;
+      make_mc = Some (fun ~n -> Multicore.Mc_elim.le ~n);
+      adversary = Sim.Sched.Adaptive;
+      steps = "O(k) worst, O(1) typical";
+      space = "Theta(n)";
+      reference = "Claim 3.1";
     };
   ]
 

@@ -1,11 +1,21 @@
 (** Catalog of every leader-election implementation in the library, with
     the complexity bounds the paper (or its cited baselines) proves for
     each. Used by the benchmarks, the CLI and the examples to iterate
-    over algorithms uniformly. *)
+    over algorithms uniformly.
+
+    Each algorithm has exactly one source — a functor over
+    {!Backend.Mem.S} — and an entry exposes whichever backends that
+    functor has been instantiated at: [make] builds the simulator
+    instantiation, and [make_mc] (when present) the [Atomic.t]-backed
+    one for real domains. *)
 
 type entry = {
   name : string;
   make : Sim.Memory.t -> n:int -> Leaderelect.Le.t;
+  make_mc : (n:int -> Multicore.Mc_le.t) option;
+      (** Multicore backend of the same functor, when the algorithm does
+          not need simulator-only machinery (adversary hooks, crash
+          injection) to run. *)
   adversary : Sim.Sched.klass;
       (** Strongest adversary class against which the step bound holds. *)
   steps : string;  (** Expected step complexity, as stated in the paper. *)

@@ -10,14 +10,18 @@ type report = {
   max_elapsed : float;
 }
 
+(* Every registry algorithm with a multicore backend, wrapped into a
+   TAS, plus the Atomic.exchange reference. Adding a backend to a
+   registry entry automatically puts it under chaos. *)
 let impls =
-  [
-    ("tournament", fun ~k -> Multicore.Mc_tas.of_tournament ~n:k);
-    ("sift", fun ~k -> Multicore.Mc_tas.of_sift ~n:k);
-    ("elim", fun ~k -> Multicore.Mc_tas.of_elim ~n:k);
-    ("rr-lean", fun ~k -> Multicore.Mc_tas.of_rr_lean ~n:k);
-    ("native", fun ~k:_ -> Multicore.Mc_tas.native ());
-  ]
+  List.filter_map
+    (fun (e : Rtas.Registry.entry) ->
+      Option.map
+        (fun make_mc ->
+          (e.Rtas.Registry.name, fun ~k -> Multicore.Mc_tas.of_le (make_mc ~n:k)))
+        e.Rtas.Registry.make_mc)
+    Rtas.Registry.all
+  @ [ ("native", fun ~k:_ -> Multicore.Mc_tas.native ()) ]
 
 let impl_names () = List.map fst impls
 

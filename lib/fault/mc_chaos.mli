@@ -25,9 +25,9 @@ type report = {
 }
 
 val impl_names : unit -> string list
-(** The {!Multicore.Mc_tas} constructions under test:
-    tournament, sift, elim, rr-lean, and the [Atomic.exchange]-based
-    native reference. *)
+(** The {!Multicore.Mc_tas} constructions under test: every
+    {!Rtas.Registry} entry with a multicore backend ([make_mc]), plus
+    the [Atomic.exchange]-based native reference. *)
 
 val run_point :
   ?timeout:float ->

@@ -1,4 +1,6 @@
-type t = {
+type 'ctx gen = {
   ge_name : string;
-  elect : Sim.Ctx.t -> bool;
+  elect : 'ctx -> bool;
 }
+
+type t = Sim.Ctx.t gen

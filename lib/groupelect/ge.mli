@@ -3,9 +3,15 @@
     A GroupElect object provides [elect], returning [true] (elected) or
     [false]. If some processes call [elect], at least one gets elected.
     Its quality is its {e performance parameter} [f]: the expected number
-    of elected processes when [k] processes participate. *)
+    of elected processes when [k] processes participate.
 
-type t = {
+    The record is polymorphic in the execution-context type so the same
+    shape serves every {!Backend.Mem.S} backend; {!t} is the simulator
+    instantiation almost all call sites use. *)
+
+type 'ctx gen = {
   ge_name : string;
-  elect : Sim.Ctx.t -> bool;  (** At most one call per process. *)
+  elect : 'ctx -> bool;  (** At most one call per process. *)
 }
+
+type t = Sim.Ctx.t gen

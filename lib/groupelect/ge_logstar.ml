@@ -4,26 +4,29 @@ let level n =
 
 let registers ~n = level n + 2
 
-let create ?(name = "ge") mem ~n =
-  let l = level n in
-  let r =
-    Array.init (l + 1) (fun i ->
-        Sim.Register.create ~name:(Printf.sprintf "%s.R[%d]" name (i + 1)) mem)
-  in
-  let flag = Sim.Register.create ~name:(name ^ ".flag") mem in
-  let elect ctx =
-    let pid = Sim.Ctx.pid ctx in
-    Obs.enter ~pid "ge_round";
-    let won =
-      if Sim.Ctx.read ctx flag = 1 then false
-      else begin
-        Sim.Ctx.write ctx flag 1;
-        let x = Sim.Ctx.flip_geometric ctx l in
-        Sim.Ctx.write ctx r.(x - 1) 1;
-        Sim.Ctx.read ctx r.(x) = 0
-      end
+module Make (M : Backend.Mem.S) = struct
+  let create ?(name = "ge") mem ~n =
+    let l = level n in
+    let r =
+      Array.init (l + 1) (fun i ->
+          M.alloc mem ~name:(Printf.sprintf "%s.R[%d]" name (i + 1)))
     in
-    Obs.leave ~pid "ge_round";
-    won
-  in
-  { Ge.ge_name = name; elect }
+    let flag = M.alloc mem ~name:(name ^ ".flag") in
+    let elect ctx =
+      M.enter ctx "ge_round";
+      let won =
+        if M.read ctx flag = 1 then false
+        else begin
+          M.write ctx flag 1;
+          let x = M.flip_geometric ctx l in
+          M.write ctx r.(x - 1) 1;
+          M.read ctx r.(x) = 0
+        end
+      in
+      M.leave ctx "ge_round";
+      won
+    in
+    { Ge.ge_name = name; elect }
+end
+
+include Make (Backend.Sim_mem)

@@ -11,6 +11,10 @@
     (the adversary cannot aim at the written cell because it does not
     learn [x] before the write lands). *)
 
+module Make (M : Backend.Mem.S) : sig
+  val create : ?name:string -> M.mem -> n:int -> M.ctx Ge.gen
+end
+
 val create : ?name:string -> Sim.Memory.t -> n:int -> Ge.t
 
 val registers : n:int -> int

@@ -1,27 +1,30 @@
 let resolution = 1 lsl 20
 
-let create ?(name = "sift") mem ~write_prob =
-  if not (write_prob > 0.0 && write_prob <= 1.0) then
-    invalid_arg "Ge_sift.create: write_prob must be in (0, 1]";
-  let r = Sim.Register.create ~name:(name ^ ".r") mem in
-  let threshold =
-    int_of_float (write_prob *. float_of_int resolution)
-  in
-  let threshold = max 1 threshold in
-  let elect ctx =
-    let pid = Sim.Ctx.pid ctx in
-    Obs.enter ~pid "sift_round";
-    let won =
-      if Sim.Ctx.flip ctx resolution < threshold then begin
-        Sim.Ctx.write ctx r 1;
-        true
-      end
-      else Sim.Ctx.read ctx r = 0
+module Make (M : Backend.Mem.S) = struct
+  let create ?(name = "sift") mem ~write_prob =
+    if not (write_prob > 0.0 && write_prob <= 1.0) then
+      invalid_arg "Ge_sift.create: write_prob must be in (0, 1]";
+    let r = M.alloc mem ~name:(name ^ ".r") in
+    let threshold =
+      int_of_float (write_prob *. float_of_int resolution)
     in
-    Obs.leave ~pid "sift_round";
-    won
-  in
-  { Ge.ge_name = name; elect }
+    let threshold = max 1 threshold in
+    let elect ctx =
+      M.enter ctx "sift_round";
+      let won =
+        if M.flip ctx resolution < threshold then begin
+          M.write ctx r 1;
+          true
+        end
+        else M.read ctx r = 0
+      in
+      M.leave ctx "sift_round";
+      won
+    in
+    { Ge.ge_name = name; elect }
+end
+
+include Make (Backend.Sim_mem)
 
 let probability_schedule ~n =
   (* The forecast k -> 2 sqrt k + 1 has its fixed point at ~5.83 — that

@@ -11,6 +11,10 @@
     [write_prob * k + 1/write_prob]; choosing [write_prob = 1/sqrt k]
     gives [f(k) ~ 2 sqrt k]. *)
 
+module Make (M : Backend.Mem.S) : sig
+  val create : ?name:string -> M.mem -> write_prob:float -> M.ctx Ge.gen
+end
+
 val create : ?name:string -> Sim.Memory.t -> write_prob:float -> Ge.t
 
 val probability_schedule : n:int -> float array

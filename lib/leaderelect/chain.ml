@@ -1,58 +1,63 @@
-type t = {
-  ges : Groupelect.Ge.t array;
-  sps : Primitives.Splitter.t array;
-  les : Primitives.Le2.t array;
-}
-
 type forward = F_lost | F_stopped of int | F_exhausted
 
-let create mem ?(name = "chain") ges =
-  let n = Array.length ges in
-  {
-    ges;
-    sps =
-      Array.init n (fun i ->
-          Primitives.Splitter.create ~name:(Printf.sprintf "%s.sp[%d]" name i) mem);
-    les =
-      Array.init n (fun i ->
-          Primitives.Le2.create ~name:(Printf.sprintf "%s.le[%d]" name i) mem);
+module Make (M : Backend.Mem.S) = struct
+  module Sp = Primitives.Splitter.Make (M)
+  module Duel = Primitives.Le2.Make (M)
+
+  type t = {
+    ges : M.ctx Groupelect.Ge.gen array;
+    sps : Sp.t array;
+    les : Duel.t array;
   }
 
-let levels t = Array.length t.ges
+  let create mem ?(name = "chain") ges =
+    let n = Array.length ges in
+    {
+      ges;
+      sps =
+        Array.init n (fun i ->
+            Sp.create ~name:(Printf.sprintf "%s.sp[%d]" name i) mem);
+      les =
+        Array.init n (fun i ->
+            Duel.create ~name:(Printf.sprintf "%s.le[%d]" name i) mem);
+    }
 
-let forward t ctx ~from_level ~upto =
-  let upto = min upto (Array.length t.ges) in
-  let pid = Sim.Ctx.pid ctx in
-  let rec go i =
-    if i >= upto then F_exhausted
-    else if not (t.ges.(i).Groupelect.Ge.elect ctx) then F_lost
-    else
-      match Primitives.Splitter.split t.sps.(i) ctx with
-      | Primitives.Splitter.L -> F_lost
-      | Primitives.Splitter.R -> go (i + 1)
-      | Primitives.Splitter.S -> F_stopped i
-  in
-  Obs.enter ~pid "chain_forward";
-  let r = go from_level in
-  Obs.leave ~pid "chain_forward";
-  r
+  let levels t = Array.length t.ges
 
-let backward t ctx ~stopped_at =
-  let pid = Sim.Ctx.pid ctx in
-  let rec go j =
-    let port = if j = stopped_at then 0 else 1 in
-    if Primitives.Le2.elect t.les.(j) ctx ~port then
-      if j = 0 then true else go (j - 1)
-    else false
-  in
-  Obs.enter ~pid "chain_backward";
-  let r = go stopped_at in
-  Obs.leave ~pid "chain_backward";
-  r
+  let forward t ctx ~from_level ~upto =
+    let upto = min upto (Array.length t.ges) in
+    let rec go i =
+      if i >= upto then F_exhausted
+      else if not (t.ges.(i).Groupelect.Ge.elect ctx) then F_lost
+      else
+        match Sp.split t.sps.(i) ctx with
+        | Primitives.Splitter.L -> F_lost
+        | Primitives.Splitter.R -> go (i + 1)
+        | Primitives.Splitter.S -> F_stopped i
+    in
+    M.enter ctx "chain_forward";
+    let r = go from_level in
+    M.leave ctx "chain_forward";
+    r
 
-let elect t ctx =
-  match forward t ctx ~from_level:0 ~upto:(levels t) with
-  | F_lost -> false
-  | F_stopped i -> backward t ctx ~stopped_at:i
-  | F_exhausted ->
-      failwith "Chain.elect: ran out of levels (more participants than levels?)"
+  let backward t ctx ~stopped_at =
+    let rec go j =
+      let port = if j = stopped_at then 0 else 1 in
+      if Duel.elect t.les.(j) ctx ~port then
+        if j = 0 then true else go (j - 1)
+      else false
+    in
+    M.enter ctx "chain_backward";
+    let r = go stopped_at in
+    M.leave ctx "chain_backward";
+    r
+
+  let elect t ctx =
+    match forward t ctx ~from_level:0 ~upto:(levels t) with
+    | F_lost -> false
+    | F_stopped i -> backward t ctx ~stopped_at:i
+    | F_exhausted ->
+        failwith "Chain.elect: ran out of levels (more participants than levels?)"
+end
+
+include Make (Backend.Sim_mem)

@@ -14,9 +14,19 @@
     of levels used is the hitting time [Delta_(f-1)(k)] for the
     GroupElect performance parameter [f] (Lemma 2.1). *)
 
-type t
-
 type forward = F_lost | F_stopped of int | F_exhausted
+
+module Make (M : Backend.Mem.S) : sig
+  type t
+
+  val create : M.mem -> ?name:string -> M.ctx Groupelect.Ge.gen array -> t
+  val levels : t -> int
+  val forward : t -> M.ctx -> from_level:int -> upto:int -> forward
+  val backward : t -> M.ctx -> stopped_at:int -> bool
+  val elect : t -> M.ctx -> bool
+end
+
+type t = Make(Backend.Sim_mem).t
 
 val create : Sim.Memory.t -> ?name:string -> Groupelect.Ge.t array -> t
 (** One level per GroupElect object; splitters and 2-process elections

@@ -2,31 +2,39 @@ let pow2_at_least n =
   let rec go p = if p >= n then p else go (2 * p) in
   go 1
 
-type t = {
-  les : Primitives.Le2.t array;  (* heap layout, internal nodes 1..leaves-1 *)
-  leaves : int;
-}
+module Make (M : Backend.Mem.S) = struct
+  module Duel = Primitives.Le2.Make (M)
 
-let create ?(name = "tournament") mem ~n =
-  if n < 1 then invalid_arg "Tournament.create: n must be >= 1";
-  let leaves = pow2_at_least n in
-  {
-    les =
-      Array.init leaves (fun v ->
-          Primitives.Le2.create ~name:(Printf.sprintf "%s.le[%d]" name v) mem);
-    leaves;
+  type t = {
+    les : Duel.t array;  (* heap layout, internal nodes 1..leaves-1 *)
+    leaves : int;
   }
 
-let elect t ctx =
-  let p = Sim.Ctx.pid ctx in
-  if p >= t.leaves then invalid_arg "Tournament.elect: pid out of range";
-  let rec up v =
-    if v = 1 then true
-    else
-      let port = v land 1 in
-      if Primitives.Le2.elect t.les.(v / 2) ctx ~port then up (v / 2) else false
-  in
-  up (t.leaves + p)
+  let create ?(name = "tournament") mem ~n =
+    if n < 1 then invalid_arg "Tournament.create: n must be >= 1";
+    let leaves = pow2_at_least n in
+    {
+      les =
+        Array.init leaves (fun v ->
+            Duel.create ~name:(Printf.sprintf "%s.le[%d]" name v) mem);
+      leaves;
+    }
+
+  let slots t = t.leaves
+
+  let elect t ctx =
+    let p = M.self ctx in
+    if p >= t.leaves then invalid_arg "Tournament.elect: pid out of range";
+    let rec up v =
+      if v = 1 then true
+      else
+        let port = v land 1 in
+        if Duel.elect t.les.(v / 2) ctx ~port then up (v / 2) else false
+    in
+    up (t.leaves + p)
+end
+
+include Make (Backend.Sim_mem)
 
 let to_le t = { Le.le_name = "tournament"; elect = elect t }
 

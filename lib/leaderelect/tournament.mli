@@ -7,7 +7,19 @@
     against the adaptive adversary — non-adaptive, since even a solo
     process climbs the full tree — and Theta(n) registers. *)
 
-type t
+module Make (M : Backend.Mem.S) : sig
+  type t
+
+  val create : ?name:string -> M.mem -> n:int -> t
+
+  val slots : t -> int
+  (** Leaf count ([n] rounded up to a power of two). *)
+
+  val elect : t -> M.ctx -> bool
+  (** Uses [M.self] as the leaf index; requires it below [slots]. *)
+end
+
+type t = Make(Backend.Sim_mem).t
 
 val create : ?name:string -> Sim.Memory.t -> n:int -> t
 

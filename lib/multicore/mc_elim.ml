@@ -1,30 +1,16 @@
-type t = {
-  sps : Mc_splitter.t array;
-  les : Mc_le2.t array;
-}
+module E = Leaderelect.Elim_le.Make (Backend.Atomic_mem)
+
+type t = { path : E.t; registers : int }
 
 let create ~n =
-  if n < 1 then invalid_arg "Mc_elim.create: n must be >= 1";
-  {
-    sps = Array.init n (fun _ -> Mc_splitter.create ());
-    les = Array.init n (fun _ -> Mc_le2.create ());
-  }
+  let mem = Backend.Atomic_mem.create () in
+  let path = E.create mem ~n in
+  { path; registers = Backend.Atomic_mem.allocated mem }
 
-let elect t rng ~id =
-  let len = Array.length t.sps in
-  let rec backward stopped_at j =
-    let port = if j = stopped_at then 0 else 1 in
-    if Mc_le2.elect t.les.(j) rng ~port then
-      if j = 0 then true else backward stopped_at (j - 1)
-    else false
-  in
-  let rec forward i =
-    if i >= len then
-      failwith "Mc_elim.elect: fell off the path (more than n entrants?)"
-    else
-      match Mc_splitter.split t.sps.(i) ~id with
-      | Mc_splitter.L -> false
-      | Mc_splitter.R -> forward (i + 1)
-      | Mc_splitter.S -> backward i i
-  in
-  forward 0
+let elect t rng ~slot =
+  if slot < 0 then invalid_arg "Mc_elim.elect: slot must be >= 0";
+  E.elect t.path (Backend.Atomic_mem.ctx ~rng ~slot ())
+
+let le ~n =
+  let t = create ~n in
+  { Mc_le.mc_name = "elim"; registers = t.registers; elect = E.elect t.path }

@@ -1,13 +1,17 @@
-(** Elimination-path leader election on atomics (the Section 3 structure
-    as a standalone n-process election): a path of [n] splitter +
-    2-process-duel nodes; with at most [n] participants nobody falls off
-    (Claim 3.1), and the winner of node 0 wins. O(k) worst-case steps,
-    O(1) typical (most processes stop at the first few splitters);
-    Theta(n) space. *)
+(** Elimination-path leader election on atomics —
+    [Leaderelect.Elim_le.Make (Backend.Atomic_mem)] (the Section 3
+    structure as a standalone n-process election): a path of [n]
+    splitter + 2-process-duel nodes; with at most [n] participants
+    nobody falls off (Claim 3.1), and the winner of node 0 wins. O(k)
+    worst-case steps, O(1) typical (most processes stop at the first few
+    splitters); Theta(n) space. *)
 
 type t
 
 val create : n:int -> t
 
-val elect : t -> Random.State.t -> id:int -> bool
-(** [id] must be distinct per caller and in [\[1, n\]]. *)
+val elect : t -> Random.State.t -> slot:int -> bool
+(** [slot] must be distinct per caller and in [\[0, n-1\]]. *)
+
+val le : n:int -> Mc_le.t
+(** Packaged election for the registry / harnesses. *)

@@ -1,0 +1,11 @@
+type t = {
+  mc_name : string;
+  registers : int;
+  elect : Backend.Atomic_mem.ctx -> bool;
+}
+
+let name t = t.mc_name
+
+let registers t = t.registers
+
+let elect t rng ~slot = t.elect (Backend.Atomic_mem.ctx ~rng ~slot ())

@@ -1,0 +1,22 @@
+(** A packaged multicore leader election: any of the algorithms in this
+    library instantiated over {!Backend.Atomic_mem}, erased to a single
+    [elect] closure so the registry, the chaos harness and the CLI can
+    iterate them uniformly.
+
+    Contender identity is a [slot] in [0 .. n-1], distinct per
+    participating domain; algorithms that need a nonzero id internally
+    (splitter races) derive it themselves. *)
+
+type t = {
+  mc_name : string;
+  registers : int;  (** atomics allocated by the structure *)
+  elect : Backend.Atomic_mem.ctx -> bool;
+}
+
+val name : t -> string
+
+val registers : t -> int
+
+val elect : t -> Random.State.t -> slot:int -> bool
+(** Wraps [rng] and [slot] into an {!Backend.Atomic_mem.ctx}. At most
+    one call per slot; exactly one caller wins. *)

@@ -1,20 +1,18 @@
-type t = { a : int Atomic.t; b : int Atomic.t }
+module Duel = Primitives.Le2.Make (Backend.Atomic_mem)
 
-let create () = { a = Atomic.make 0; b = Atomic.make 0 }
+type t = Duel.t
 
-(* Same protocol and thresholds as [Primitives.Le2]; see its interface
-   for the safety argument. *)
-let elect t rng ~port =
-  if port <> 0 && port <> 1 then invalid_arg "Mc_le2.elect: port must be 0 or 1";
-  let mine, other = if port = 0 then (t.a, t.b) else (t.b, t.a) in
-  let rec loop pos =
-    let o = Atomic.get other in
-    if o >= pos + 2 then false
-    else if o <= pos - 3 then true
-    else begin
-      let pos' = pos + (if Random.State.bool rng then 1 else 0) in
-      if pos' > pos then Atomic.set mine pos';
-      loop pos'
-    end
-  in
-  loop 0
+let create () = Duel.create (Backend.Atomic_mem.create ())
+
+let elect t rng ~slot =
+  Duel.elect t (Backend.Atomic_mem.ctx ~rng ~slot ()) ~port:slot
+
+let le () =
+  let mem = Backend.Atomic_mem.create () in
+  let duel = Duel.create mem in
+  {
+    Mc_le.mc_name = "le2";
+    registers = Backend.Atomic_mem.allocated mem;
+    elect =
+      (fun ctx -> Duel.elect duel ctx ~port:(Backend.Atomic_mem.self ctx));
+  }

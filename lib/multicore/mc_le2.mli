@@ -1,13 +1,17 @@
-(** The 2-process random-walk duel of {!Primitives.Le2}, on real OCaml
+(** The 2-process random-walk duel of {!Primitives.Le2} —
+    [Primitives.Le2.Make (Backend.Atomic_mem)] — on real OCaml
     [Atomic.t] registers, runnable across domains.
 
     OCaml's [Atomic] operations are sequentially consistent, so they
     model the paper's atomic multi-reader multi-writer registers
-    directly. At most one process may use each port. *)
+    directly. At most one process may use each slot. *)
 
 type t
 
 val create : unit -> t
 
-val elect : t -> Random.State.t -> port:int -> bool
-(** Wait-free; O(1) expected steps. [port] is 0 or 1. *)
+val elect : t -> Random.State.t -> slot:int -> bool
+(** Wait-free; O(1) expected steps. [slot] is 0 or 1. *)
+
+val le : unit -> Mc_le.t
+(** Packaged two-slot election for the registry / harnesses. *)

@@ -1,11 +1,8 @@
-type t = { first : Mc_le2.t; final : Mc_le2.t }
+module Trio = Primitives.Le3.Make (Backend.Atomic_mem)
 
-let create () = { first = Mc_le2.create (); final = Mc_le2.create () }
+type t = Trio.t
 
-let elect t rng ~port =
-  match port with
-  | 2 -> Mc_le2.elect t.final rng ~port:1
-  | 0 | 1 ->
-      if Mc_le2.elect t.first rng ~port then Mc_le2.elect t.final rng ~port:0
-      else false
-  | _ -> invalid_arg "Mc_le3.elect: port must be 0, 1 or 2"
+let create () = Trio.create (Backend.Atomic_mem.create ())
+
+let elect t rng ~slot =
+  Trio.elect t (Backend.Atomic_mem.ctx ~rng ~slot ()) ~port:slot

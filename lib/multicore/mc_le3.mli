@@ -1,8 +1,9 @@
-(** 3-process election on atomics (two chained duels), as used at each
-    node of the multicore RatRace tree. Ports 0-2, one caller each. *)
+(** 3-process election on atomics (two chained duels) —
+    [Primitives.Le3.Make (Backend.Atomic_mem)] — as used at each node of
+    the multicore RatRace tree. Slots 0-2, one caller each. *)
 
 type t
 
 val create : unit -> t
 
-val elect : t -> Random.State.t -> port:int -> bool
+val elect : t -> Random.State.t -> slot:int -> bool

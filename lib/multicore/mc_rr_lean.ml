@@ -1,101 +1,20 @@
-let ceil_log2 n =
-  let rec go acc v = if v <= 1 then acc else go (acc + 1) ((v + 1) / 2) in
-  max 1 (go 0 n)
+module Rr = Ratrace.Ratrace_lean.Make (Backend.Atomic_mem)
 
-(* One elimination-path layer: splitter + duel per node. *)
-type path = {
-  p_sps : Mc_splitter.t array;
-  p_les : Mc_le2.t array;
-}
-
-let make_path length =
-  {
-    p_sps = Array.init length (fun _ -> Mc_splitter.create ());
-    p_les = Array.init length (fun _ -> Mc_le2.create ());
-  }
-
-type path_outcome = P_lost | P_won | P_fell_off
-
-let run_path path rng ~id =
-  let len = Array.length path.p_sps in
-  let rec backward stopped_at j =
-    let port = if j = stopped_at then 0 else 1 in
-    if Mc_le2.elect path.p_les.(j) rng ~port then
-      if j = 0 then P_won else backward stopped_at (j - 1)
-    else P_lost
-  in
-  let rec forward i =
-    if i >= len then P_fell_off
-    else
-      match Mc_splitter.split path.p_sps.(i) ~id with
-      | Mc_splitter.L -> P_lost
-      | Mc_splitter.R -> forward (i + 1)
-      | Mc_splitter.S -> backward i i
-  in
-  forward 0
-
-type t = {
-  rsps : Mc_rsplitter.t array;  (* heap layout *)
-  les : Mc_le3.t array;
-  height : int;
-  paths : path array;
-  backup : path;
-  top : Mc_le2.t;
-  leaves_per_path : int;
-}
+type t = { rr : Rr.t; registers : int }
 
 let create ~n =
-  if n < 1 then invalid_arg "Mc_rr_lean.create: n must be >= 1";
-  let h = ceil_log2 n in
-  let nodes = (1 lsl (h + 1)) - 1 in
-  let count = max 1 ((n + h - 1) / h) in
+  let mem = Backend.Atomic_mem.create () in
+  let rr = Rr.create mem ~n in
+  { rr; registers = Backend.Atomic_mem.allocated mem }
+
+let elect t rng ~slot =
+  if slot < 0 then invalid_arg "Mc_rr_lean.elect: slot must be >= 0";
+  Rr.elect t.rr (Backend.Atomic_mem.ctx ~rng ~slot ())
+
+let le ~n =
+  let t = create ~n in
   {
-    rsps = Array.init (nodes + 1) (fun _ -> Mc_rsplitter.create ());
-    les = Array.init (nodes + 1) (fun _ -> Mc_le3.create ());
-    height = h;
-    paths = Array.init count (fun _ -> make_path (4 * h));
-    backup = make_path n;
-    top = Mc_le2.create ();
-    leaves_per_path = h;
+    Mc_le.mc_name = "ratrace-lean";
+    registers = t.registers;
+    elect = Rr.elect t.rr;
   }
-
-let rec ascend t rng v ~port =
-  if Mc_le3.elect t.les.(v) rng ~port then
-    if v = 1 then true
-    else ascend t rng (v / 2) ~port:(if v land 1 = 0 then 1 else 2)
-  else false
-
-type tree_outcome = T_lost | T_won | T_fell_off of int
-
-let run_tree t rng ~id =
-  let first_leaf = 1 lsl t.height in
-  let rec descend v =
-    match Mc_rsplitter.split t.rsps.(v) rng ~id with
-    | Mc_splitter.S -> if ascend t rng v ~port:0 then T_won else T_lost
-    | Mc_splitter.L ->
-        if v >= first_leaf then T_fell_off (v - first_leaf) else descend (2 * v)
-    | Mc_splitter.R ->
-        if v >= first_leaf then T_fell_off (v - first_leaf)
-        else descend ((2 * v) + 1)
-  in
-  descend 1
-
-let elect t rng ~id =
-  let win_tree () = Mc_le2.elect t.top rng ~port:0 in
-  let backup () =
-    match run_path t.backup rng ~id with
-    | P_won -> Mc_le2.elect t.top rng ~port:1
-    | P_lost -> false
-    | P_fell_off -> failwith "Mc_rr_lean: fell off the length-n backup path"
-  in
-  match run_tree t rng ~id with
-  | T_won -> win_tree ()
-  | T_lost -> false
-  | T_fell_off j -> (
-      let i = min (j / t.leaves_per_path) (Array.length t.paths - 1) in
-      match run_path t.paths.(i) rng ~id with
-      | P_won ->
-          if ascend t rng ((1 lsl t.height) + i) ~port:1 then win_tree ()
-          else false
-      | P_lost -> false
-      | P_fell_off -> backup ())

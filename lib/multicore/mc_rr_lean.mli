@@ -1,4 +1,5 @@
-(** The paper's Section 3 lean RatRace on real atomics: primary tree of
+(** The paper's Section 3 lean RatRace on real atomics —
+    [Ratrace.Ratrace_lean.Make (Backend.Atomic_mem)]: primary tree of
     height [ceil(log2 n)] (randomized splitters + 3-process elections),
     [ceil(n / log2 n)] elimination paths of length [4 ceil(log2 n)]
     absorbing leaf overflow, and a length-[n] backup elimination path.
@@ -8,5 +9,8 @@ type t
 
 val create : n:int -> t
 
-val elect : t -> Random.State.t -> id:int -> bool
-(** [id] distinct per caller, in [\[1, n\]]. At most [n] callers. *)
+val elect : t -> Random.State.t -> slot:int -> bool
+(** [slot] distinct per caller, in [\[0, n-1\]]. At most [n] callers. *)
+
+val le : n:int -> Mc_le.t
+(** Packaged election for the registry / harnesses. *)

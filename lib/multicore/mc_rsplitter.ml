@@ -1,9 +1,9 @@
-type t = Mc_splitter.t
+module Rsp = Primitives.Rsplitter.Make (Backend.Atomic_mem)
 
-let create () = Mc_splitter.create ()
+type t = Rsp.t
 
-let split t rng ~id =
-  match Mc_splitter.split t ~id with
-  | Mc_splitter.S -> Mc_splitter.S
-  | Mc_splitter.L | Mc_splitter.R ->
-      if Random.State.bool rng then Mc_splitter.R else Mc_splitter.L
+let create () = Rsp.create (Backend.Atomic_mem.create ())
+
+let split t rng ~slot =
+  if slot < 0 then invalid_arg "Mc_rsplitter.split: slot must be >= 0";
+  Rsp.split t (Backend.Atomic_mem.ctx ~rng ~slot ())

@@ -1,9 +1,11 @@
-(** Randomized splitter on atomics: at most one [S]; a solo caller gets
-    [S]; non-[S] callers go [L] or [R] with probability 1/2 each. *)
+(** Randomized splitter on atomics —
+    [Primitives.Rsplitter.Make (Backend.Atomic_mem)]: at most one [S]; a
+    solo caller gets [S]; non-[S] callers go [L] or [R] with probability
+    1/2 each. *)
 
 type t
 
 val create : unit -> t
 
-val split : t -> Random.State.t -> id:int -> Mc_splitter.outcome
-(** [id] distinct per caller and nonzero. *)
+val split : t -> Random.State.t -> slot:int -> Mc_splitter.outcome
+(** [slot] distinct per caller and [>= 0]. *)

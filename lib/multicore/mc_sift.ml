@@ -1,26 +1,16 @@
-type t = {
-  levels : int Atomic.t array;
-  probs : float array;
-  finisher : Mc_tournament.t;
-}
+module S = Leaderelect.Sift_le.Make (Backend.Atomic_mem)
+
+type t = { sift : S.t; registers : int }
 
 let create ~n =
-  if n < 1 then invalid_arg "Mc_sift.create: n must be >= 1";
-  let probs = Groupelect.Ge_sift.probability_schedule ~n in
-  {
-    levels = Array.init (Array.length probs) (fun _ -> Atomic.make 0);
-    probs;
-    finisher = Mc_tournament.create ~n;
-  }
+  let mem = Backend.Atomic_mem.create () in
+  let sift = S.create mem ~n in
+  { sift; registers = Backend.Atomic_mem.allocated mem }
 
 let elect t rng ~slot =
-  let rec sift i =
-    if i >= Array.length t.probs then true
-    else if Random.State.float rng 1.0 < t.probs.(i) then begin
-      Atomic.set t.levels.(i) 1;
-      sift (i + 1)
-    end
-    else if Atomic.get t.levels.(i) = 0 then sift (i + 1)
-    else false
-  in
-  if sift 0 then Mc_tournament.elect t.finisher rng ~slot else false
+  if slot < 0 then invalid_arg "Mc_sift.elect: slot out of range";
+  S.elect t.sift (Backend.Atomic_mem.ctx ~rng ~slot ())
+
+let le ~n =
+  let t = create ~n in
+  { Mc_le.mc_name = "sift"; registers = t.registers; elect = S.elect t.sift }

@@ -1,7 +1,8 @@
 (** Sifting leader election on atomics: Theta(log log n) sifting levels
-    (Alistarh–Aspnes) followed by a tournament over the survivors — the
-    multicore analogue of the AA algorithm. Wait-free; O(log log n + log
-    survivors) expected steps under benign scheduling. *)
+    (Alistarh–Aspnes) followed by a tournament over the survivors —
+    [Leaderelect.Sift_le.Make (Backend.Atomic_mem)]. Wait-free;
+    O(log log n + log survivors) expected steps under benign
+    scheduling. *)
 
 type t
 
@@ -9,3 +10,6 @@ val create : n:int -> t
 
 val elect : t -> Random.State.t -> slot:int -> bool
 (** [slot] must be a distinct index below [n] per participating thread. *)
+
+val le : n:int -> Mc_le.t
+(** Packaged election for the registry / harnesses. *)

@@ -1,14 +1,11 @@
-type t = { race : int Atomic.t; door : bool Atomic.t }
+module Sp = Primitives.Splitter.Make (Backend.Atomic_mem)
 
-type outcome = L | R | S
+type t = Sp.t
 
-let create () = { race = Atomic.make 0; door = Atomic.make false }
+type outcome = Primitives.Splitter.outcome = L | R | S
 
-let split t ~id =
-  if id = 0 then invalid_arg "Mc_splitter.split: id must be nonzero";
-  Atomic.set t.race id;
-  if Atomic.get t.door then L
-  else begin
-    Atomic.set t.door true;
-    if Atomic.get t.race = id then S else R
-  end
+let create () = Sp.create (Backend.Atomic_mem.create ())
+
+let split t ~slot =
+  if slot < 0 then invalid_arg "Mc_splitter.split: slot must be >= 0";
+  Sp.split t (Backend.Atomic_mem.ctx ~slot ())

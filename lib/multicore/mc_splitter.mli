@@ -1,12 +1,13 @@
-(** Moir–Anderson deterministic splitter on atomics. Same guarantees as
+(** Moir–Anderson deterministic splitter on atomics —
+    [Primitives.Splitter.Make (Backend.Atomic_mem)]. Same guarantees as
     {!Primitives.Splitter}: at most one [S]; a solo caller gets [S]; not
     all callers get [L], not all get [R]. *)
 
 type t
 
-type outcome = L | R | S
+type outcome = Primitives.Splitter.outcome = L | R | S
 
 val create : unit -> t
 
-val split : t -> id:int -> outcome
-(** [id] must be distinct per caller and nonzero. *)
+val split : t -> slot:int -> outcome
+(** [slot] must be distinct per caller and [>= 0]. *)

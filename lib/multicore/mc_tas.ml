@@ -1,50 +1,30 @@
-type t = {
-  name : string;
-  elect : Random.State.t -> slot:int -> bool;
-  doorway : int Atomic.t;
-  nativ : bool Atomic.t option;
-}
+module A = Primitives.Tas.Make (Backend.Atomic_mem)
 
-let make name elect =
-  { name; elect; doorway = Atomic.make 0; nativ = None }
+type impl =
+  | Elect of A.t
+  | Native of bool Atomic.t
 
-let of_tournament ~n =
-  let le = Mc_tournament.create ~n in
-  make "tournament" (fun rng ~slot -> Mc_tournament.elect le rng ~slot)
+type t = { name : string; impl : impl }
 
-let of_sift ~n =
-  let le = Mc_sift.create ~n in
-  make "sift" (fun rng ~slot -> Mc_sift.elect le rng ~slot)
+let of_le (le : Mc_le.t) =
+  let mem = Backend.Atomic_mem.create () in
+  { name = le.Mc_le.mc_name; impl = Elect (A.create mem ~elect:le.Mc_le.elect) }
 
-let of_le2 () =
-  let le = Mc_le2.create () in
-  make "le2" (fun rng ~slot -> Mc_le2.elect le rng ~port:slot)
+let of_tournament ~n = of_le (Mc_tournament.le ~n)
 
-let of_elim ~n =
-  let le = Mc_elim.create ~n in
-  make "elim" (fun rng ~slot -> Mc_elim.elect le rng ~id:(slot + 1))
+let of_sift ~n = of_le (Mc_sift.le ~n)
 
-let of_rr_lean ~n =
-  let le = Mc_rr_lean.create ~n in
-  make "rr-lean" (fun rng ~slot -> Mc_rr_lean.elect le rng ~id:(slot + 1))
+let of_le2 () = of_le (Mc_le2.le ())
 
-let native () =
-  {
-    name = "native";
-    elect = (fun _ ~slot:_ -> false);
-    doorway = Atomic.make 0;
-    nativ = Some (Atomic.make false);
-  }
+let of_elim ~n = of_le (Mc_elim.le ~n)
+
+let of_rr_lean ~n = of_le (Mc_rr_lean.le ~n)
+
+let native () = { name = "native"; impl = Native (Atomic.make false) }
 
 let apply t rng ~slot =
-  match t.nativ with
-  | Some flag -> if Atomic.exchange flag true then 1 else 0
-  | None ->
-      if Atomic.get t.doorway = 1 then 1
-      else if t.elect rng ~slot then 0
-      else begin
-        Atomic.set t.doorway 1;
-        1
-      end
+  match t.impl with
+  | Native flag -> if Atomic.exchange flag true then 1 else 0
+  | Elect tas -> A.apply tas (Backend.Atomic_mem.ctx ~rng ~slot ())
 
 let name t = t.name

@@ -1,12 +1,17 @@
 (** One-shot linearizable test-and-set on atomics, from any of the
-    leader elections in this library plus a doorway register (the same
-    construction as {!Primitives.Tas}).
+    leader elections in this library plus a doorway register — literally
+    [Primitives.Tas.Make (Backend.Atomic_mem)] fed with an
+    {!Mc_le.t} election.
 
     For comparison, {!native} wraps the hardware-level
     [Atomic.exchange] — the primitive the paper's algorithms implement
     from plain reads and writes. *)
 
 type t
+
+val of_le : Mc_le.t -> t
+(** Wrap any packaged election (e.g. from the registry's multicore
+    constructors) into a test-and-set. *)
 
 val of_tournament : n:int -> t
 val of_sift : n:int -> t
@@ -20,7 +25,9 @@ val of_rr_lean : n:int -> t
 (** The Section 3 lean RatRace on atomics; slots are [0 .. n-1]. *)
 
 val native : unit -> t
-(** [Atomic.exchange]-based; reference implementation. *)
+(** [Atomic.exchange]-based; reference implementation. Ignores the
+    [Random.State.t] passed to {!apply} — the hardware primitive flips
+    no coins. *)
 
 val apply : t -> Random.State.t -> slot:int -> int
 (** Returns 0 to exactly one caller (the winner), 1 to all others.

@@ -1,19 +1,22 @@
-type t = { les : Mc_le2.t array; leaves : int }
+module T = Leaderelect.Tournament.Make (Backend.Atomic_mem)
+
+type t = { tree : T.t; registers : int }
 
 let create ~n =
-  if n < 1 then invalid_arg "Mc_tournament.create: n must be >= 1";
-  let rec pow2 p = if p >= n then p else pow2 (2 * p) in
-  let leaves = pow2 1 in
-  { les = Array.init leaves (fun _ -> Mc_le2.create ()); leaves }
+  let mem = Backend.Atomic_mem.create () in
+  let tree = T.create mem ~n in
+  { tree; registers = Backend.Atomic_mem.allocated mem }
 
-let slots t = t.leaves
+let slots t = T.slots t.tree
 
 let elect t rng ~slot =
-  if slot < 0 || slot >= t.leaves then
-    invalid_arg "Mc_tournament.elect: slot out of range";
-  let rec up v =
-    if v = 1 then true
-    else if Mc_le2.elect t.les.(v / 2) rng ~port:(v land 1) then up (v / 2)
-    else false
-  in
-  up (t.leaves + slot)
+  if slot < 0 then invalid_arg "Mc_tournament.elect: slot out of range";
+  T.elect t.tree (Backend.Atomic_mem.ctx ~rng ~slot ())
+
+let le ~n =
+  let t = create ~n in
+  {
+    Mc_le.mc_name = "tournament";
+    registers = t.registers;
+    elect = T.elect t.tree;
+  }

@@ -1,4 +1,5 @@
-(** Tournament-tree leader election on atomics (the AGTV baseline).
+(** Tournament-tree leader election on atomics (the AGTV baseline) —
+    [Leaderelect.Tournament.Make (Backend.Atomic_mem)].
 
     [n] slots, rounded up to a power of two; each participating thread
     calls [elect] with a distinct [slot] and climbs the tree of
@@ -11,3 +12,6 @@ val create : n:int -> t
 val slots : t -> int
 
 val elect : t -> Random.State.t -> slot:int -> bool
+
+val le : n:int -> Mc_le.t
+(** Packaged election for the registry / harnesses. *)

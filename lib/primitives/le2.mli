@@ -26,9 +26,22 @@
     by one. This is a variant of the protocol of Tromp and Vitányi
     (Distributed Computing 15(3), 2002) with the same guarantees; see
     DESIGN.md. The safety property is additionally model-checked
-    exhaustively in the test suite. *)
+    exhaustively in the test suite.
 
-type t
+    The argument relies only on register atomicity, so it holds verbatim
+    for both backends of {!Backend.Mem.S}: the simulator instantiation
+    below and the [Atomic.t] one behind {!Multicore.Mc_le2}. *)
+
+module Make (M : Backend.Mem.S) : sig
+  type t
+
+  val create : ?name:string -> M.mem -> t
+
+  val elect : t -> M.ctx -> port:int -> bool
+  (** [port] must be 0 or 1. *)
+end
+
+type t = Make(Backend.Sim_mem).t
 
 val create : ?name:string -> Sim.Memory.t -> t
 

@@ -1,15 +1,21 @@
-type t = { first : Le2.t; final : Le2.t }
+module Make (M : Backend.Mem.S) = struct
+  module Duel = Le2.Make (M)
 
-let create ?(name = "le3") mem =
-  {
-    first = Le2.create ~name:(name ^ ".first") mem;
-    final = Le2.create ~name:(name ^ ".final") mem;
-  }
+  type t = { first : Duel.t; final : Duel.t }
 
-let elect t ctx ~port =
-  match port with
-  | 2 -> Le2.elect t.final ctx ~port:1
-  | 0 | 1 ->
-      if Le2.elect t.first ctx ~port then Le2.elect t.final ctx ~port:0
-      else false
-  | _ -> invalid_arg "Le3.elect: port must be 0, 1 or 2"
+  let create ?(name = "le3") mem =
+    {
+      first = Duel.create ~name:(name ^ ".first") mem;
+      final = Duel.create ~name:(name ^ ".final") mem;
+    }
+
+  let elect t ctx ~port =
+    match port with
+    | 2 -> Duel.elect t.final ctx ~port:1
+    | 0 | 1 ->
+        if Duel.elect t.first ctx ~port then Duel.elect t.final ctx ~port:0
+        else false
+    | _ -> invalid_arg "Le3.elect: port must be 0, 1 or 2"
+end
+
+include Make (Backend.Sim_mem)

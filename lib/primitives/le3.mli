@@ -6,7 +6,16 @@
     {!elect} call returns [true]; if no participant crashes, exactly one
     does. O(1) registers, O(1) expected steps. *)
 
-type t
+module Make (M : Backend.Mem.S) : sig
+  type t
+
+  val create : ?name:string -> M.mem -> t
+
+  val elect : t -> M.ctx -> port:int -> bool
+  (** [port] must be 0, 1 or 2. *)
+end
+
+type t = Make(Backend.Sim_mem).t
 
 val create : ?name:string -> Sim.Memory.t -> t
 

@@ -1,9 +1,15 @@
-type t = Splitter.t
+module Make (M : Backend.Mem.S) = struct
+  module Sp = Splitter.Make (M)
 
-let create ?(name = "rsp") mem = Splitter.create ~name mem
+  type t = Sp.t
 
-let split t ctx =
-  match Splitter.split t ctx with
-  | Splitter.S -> Splitter.S
-  | Splitter.L | Splitter.R ->
-      if Sim.Ctx.flip_bool ctx then Splitter.R else Splitter.L
+  let create ?(name = "rsp") mem = Sp.create ~name mem
+
+  let split t ctx =
+    match Sp.split t ctx with
+    | Splitter.S -> Splitter.S
+    | Splitter.L | Splitter.R ->
+        if M.flip_bool ctx then Splitter.R else Splitter.L
+end
+
+include Make (Backend.Sim_mem)

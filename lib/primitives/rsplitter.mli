@@ -5,7 +5,14 @@
     return [S] returns [L] or [R] independently with probability 1/2
     each (so all callers may receive the same direction). *)
 
-type t
+module Make (M : Backend.Mem.S) : sig
+  type t
+
+  val create : ?name:string -> M.mem -> t
+  val split : t -> M.ctx -> Splitter.outcome
+end
+
+type t = Make(Backend.Sim_mem).t
 
 val create : ?name:string -> Sim.Memory.t -> t
 

@@ -1,15 +1,19 @@
-type t = {
-  elect : Sim.Ctx.t -> bool;
-  doorway : Sim.Register.t;
-}
+module Make (M : Backend.Mem.S) = struct
+  type t = {
+    elect : M.ctx -> bool;
+    doorway : M.reg;
+  }
 
-let create ?(name = "tas") mem ~elect =
-  { elect; doorway = Sim.Register.create ~name:(name ^ ".done") mem }
+  let create ?(name = "tas") mem ~elect =
+    { elect; doorway = M.alloc mem ~name:(name ^ ".done") }
 
-let apply t ctx =
-  if Sim.Ctx.read ctx t.doorway = 1 then 1
-  else if t.elect ctx then 0
-  else begin
-    Sim.Ctx.write ctx t.doorway 1;
-    1
-  end
+  let apply t ctx =
+    if M.read ctx t.doorway = 1 then 1
+    else if t.elect ctx then 0
+    else begin
+      M.write ctx t.doorway 1;
+      1
+    end
+end
+
+include Make (Backend.Sim_mem)

@@ -9,9 +9,17 @@
     Claim 3.1: if at most [length] processes enter, no process falls off
     the right end. Space is Theta(length) registers. *)
 
-type t
-
 type outcome = Lost | Won | Fell_off
+
+module Make (M : Backend.Mem.S) : sig
+  type t
+
+  val create : ?name:string -> M.mem -> length:int -> t
+  val length : t -> int
+  val run : ?notify_stop:(unit -> unit) -> t -> M.ctx -> outcome
+end
+
+type t = Make(Backend.Sim_mem).t
 
 val create : ?name:string -> Sim.Memory.t -> length:int -> t
 

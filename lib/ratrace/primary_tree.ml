@@ -1,70 +1,75 @@
-type t = {
-  rsps : Primitives.Rsplitter.t array;  (* heap layout, index 1..2^(h+1)-1 *)
-  les : Primitives.Le3.t array;
-  h : int;
-}
-
 type outcome = Lost | Won | Fell_off of int
 
-let create ?(name = "tree") mem ~height =
-  if height < 0 then invalid_arg "Primary_tree.create: height must be >= 0";
-  let nodes = (1 lsl (height + 1)) - 1 in
-  {
-    rsps =
-      Array.init (nodes + 1) (fun v ->
-          Primitives.Rsplitter.create ~name:(Printf.sprintf "%s.rsp[%d]" name v) mem);
-    les =
-      Array.init (nodes + 1) (fun v ->
-          Primitives.Le3.create ~name:(Printf.sprintf "%s.le[%d]" name v) mem);
-    h = height;
+module Make (M : Backend.Mem.S) = struct
+  module Rsp = Primitives.Rsplitter.Make (M)
+  module Duel3 = Primitives.Le3.Make (M)
+
+  type t = {
+    rsps : Rsp.t array;  (* heap layout, index 1..2^(h+1)-1 *)
+    les : Duel3.t array;
+    h : int;
   }
 
-let height t = t.h
+  let create ?(name = "tree") mem ~height =
+    if height < 0 then invalid_arg "Primary_tree.create: height must be >= 0";
+    let nodes = (1 lsl (height + 1)) - 1 in
+    {
+      rsps =
+        Array.init (nodes + 1) (fun v ->
+            Rsp.create ~name:(Printf.sprintf "%s.rsp[%d]" name v) mem);
+      les =
+        Array.init (nodes + 1) (fun v ->
+            Duel3.create ~name:(Printf.sprintf "%s.le[%d]" name v) mem);
+      h = height;
+    }
 
-let leaves t = 1 lsl t.h
+  let height t = t.h
 
-(* Ascend from node [v], having already won entry to its election on
-   [port]. Moving up from a left child uses port 1, from a right child
-   port 2. *)
-let rec ascend_loop t ctx v ~port =
-  if Primitives.Le3.elect t.les.(v) ctx ~port then
-    if v = 1 then true
-    else ascend_loop t ctx (v / 2) ~port:(if v land 1 = 0 then 1 else 2)
-  else false
+  let leaves t = 1 lsl t.h
 
-let ascend t ctx v ~port =
-  let pid = Sim.Ctx.pid ctx in
-  Obs.enter ~pid "rr_ascend";
-  let won = ascend_loop t ctx v ~port in
-  Obs.leave ~pid "rr_ascend";
-  won
+  (* Ascend from node [v], having already won entry to its election on
+     [port]. Moving up from a left child uses port 1, from a right child
+     port 2. *)
+  let rec ascend_loop t ctx v ~port =
+    if Duel3.elect t.les.(v) ctx ~port then
+      if v = 1 then true
+      else ascend_loop t ctx (v / 2) ~port:(if v land 1 = 0 then 1 else 2)
+    else false
 
-let run ?(notify_stop = fun () -> ()) t ctx =
-  let first_leaf = 1 lsl t.h in
-  let pid = Sim.Ctx.pid ctx in
-  let rec descend v =
-    match Primitives.Rsplitter.split t.rsps.(v) ctx with
-    | Primitives.Splitter.S ->
-        notify_stop ();
-        Obs.leave ~pid "rr_tree";
-        if ascend t ctx v ~port:0 then Won else Lost
-    | Primitives.Splitter.L ->
-        if v >= first_leaf then begin
-          Obs.leave ~pid "rr_tree";
-          Fell_off (v - first_leaf)
-        end
-        else descend (2 * v)
-    | Primitives.Splitter.R ->
-        if v >= first_leaf then begin
-          Obs.leave ~pid "rr_tree";
-          Fell_off (v - first_leaf)
-        end
-        else descend ((2 * v) + 1)
-  in
-  Obs.enter ~pid "rr_tree";
-  descend 1
+  let ascend t ctx v ~port =
+    M.enter ctx "rr_ascend";
+    let won = ascend_loop t ctx v ~port in
+    M.leave ctx "rr_ascend";
+    won
 
-let ascend_from_leaf t ctx ~leaf =
-  if leaf < 0 || leaf >= leaves t then
-    invalid_arg "Primary_tree.ascend_from_leaf: bad leaf";
-  ascend t ctx ((1 lsl t.h) + leaf) ~port:1
+  let run ?(notify_stop = fun () -> ()) t ctx =
+    let first_leaf = 1 lsl t.h in
+    let rec descend v =
+      match Rsp.split t.rsps.(v) ctx with
+      | Primitives.Splitter.S ->
+          notify_stop ();
+          M.leave ctx "rr_tree";
+          if ascend t ctx v ~port:0 then Won else Lost
+      | Primitives.Splitter.L ->
+          if v >= first_leaf then begin
+            M.leave ctx "rr_tree";
+            Fell_off (v - first_leaf)
+          end
+          else descend (2 * v)
+      | Primitives.Splitter.R ->
+          if v >= first_leaf then begin
+            M.leave ctx "rr_tree";
+            Fell_off (v - first_leaf)
+          end
+          else descend ((2 * v) + 1)
+    in
+    M.enter ctx "rr_tree";
+    descend 1
+
+  let ascend_from_leaf t ctx ~leaf =
+    if leaf < 0 || leaf >= leaves t then
+      invalid_arg "Primary_tree.ascend_from_leaf: bad leaf";
+    ascend t ctx ((1 lsl t.h) + leaf) ~port:1
+end
+
+include Make (Backend.Sim_mem)

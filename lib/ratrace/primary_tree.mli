@@ -13,9 +13,19 @@
     for a process re-entering the tree from outside (the elimination
     paths of the lean variant use this). *)
 
-type t
-
 type outcome = Lost | Won | Fell_off of int  (** Leaf index, 0-based. *)
+
+module Make (M : Backend.Mem.S) : sig
+  type t
+
+  val create : ?name:string -> M.mem -> height:int -> t
+  val height : t -> int
+  val leaves : t -> int
+  val run : ?notify_stop:(unit -> unit) -> t -> M.ctx -> outcome
+  val ascend_from_leaf : t -> M.ctx -> leaf:int -> bool
+end
+
+type t = Make(Backend.Sim_mem).t
 
 val create : ?name:string -> Sim.Memory.t -> height:int -> t
 

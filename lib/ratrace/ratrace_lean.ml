@@ -10,55 +10,64 @@ let path_count ~n =
 
 let path_length ~n = 4 * ceil_log2 n
 
-type t = {
-  tree : Primary_tree.t;
-  paths : Elim_path.t array;
-  backup : Elim_path.t;
-  top : Primitives.Le2.t;
-  leaves_per_path : int;
-}
+module Make (M : Backend.Mem.S) = struct
+  module Tree = Primary_tree.Make (M)
+  module Path = Elim_path.Make (M)
+  module Duel = Primitives.Le2.Make (M)
 
-let create ?(name = "rr-lean") mem ~n =
-  if n < 1 then invalid_arg "Ratrace_lean.create: n must be >= 1";
-  let h = tree_height ~n in
-  let count = path_count ~n in
-  {
-    tree = Primary_tree.create ~name:(name ^ ".tree") mem ~height:h;
-    paths =
-      Array.init count (fun i ->
-          Elim_path.create
-            ~name:(Printf.sprintf "%s.ep[%d]" name i)
-            mem ~length:(path_length ~n));
-    backup = Elim_path.create ~name:(name ^ ".backup") mem ~length:n;
-    top = Primitives.Le2.create ~name:(name ^ ".top") mem;
-    leaves_per_path = h;
+  type t = {
+    tree : Tree.t;
+    paths : Path.t array;
+    backup : Path.t;
+    top : Duel.t;
+    leaves_per_path : int;
   }
 
-let top_elect t ctx ~port =
-  let pid = Sim.Ctx.pid ctx in
-  Obs.enter ~pid "rr_top";
-  let won = Primitives.Le2.elect t.top ctx ~port in
-  Obs.leave ~pid "rr_top";
-  won
+  let create ?(name = "rr-lean") mem ~n =
+    if n < 1 then invalid_arg "Ratrace_lean.create: n must be >= 1";
+    let h = tree_height ~n in
+    let count = path_count ~n in
+    {
+      tree = Tree.create ~name:(name ^ ".tree") mem ~height:h;
+      paths =
+        Array.init count (fun i ->
+            Path.create
+              ~name:(Printf.sprintf "%s.ep[%d]" name i)
+              mem ~length:(path_length ~n));
+      backup = Path.create ~name:(name ^ ".backup") mem ~length:n;
+      top = Duel.create ~name:(name ^ ".top") mem;
+      leaves_per_path = h;
+    }
 
-let elect ?notify_splitter_win t ctx =
-  let notify_stop = match notify_splitter_win with Some f -> f | None -> fun () -> () in
-  let win_tree () = top_elect t ctx ~port:0 in
-  let backup () =
-    match Elim_path.run ~notify_stop t.backup ctx with
-    | Elim_path.Won -> top_elect t ctx ~port:1
-    | Elim_path.Lost -> false
-    | Elim_path.Fell_off ->
-        failwith "Ratrace_lean: fell off the length-n backup path"
-  in
-  match Primary_tree.run ~notify_stop t.tree ctx with
-  | Primary_tree.Won -> win_tree ()
-  | Primary_tree.Lost -> false
-  | Primary_tree.Fell_off j -> (
-      let i = min (j / t.leaves_per_path) (Array.length t.paths - 1) in
-      match Elim_path.run ~notify_stop t.paths.(i) ctx with
-      | Elim_path.Won ->
-          if Primary_tree.ascend_from_leaf t.tree ctx ~leaf:i then win_tree ()
-          else false
+  let top_elect t ctx ~port =
+    M.enter ctx "rr_top";
+    let won = Duel.elect t.top ctx ~port in
+    M.leave ctx "rr_top";
+    won
+
+  let elect ?notify_splitter_win t ctx =
+    let notify_stop =
+      match notify_splitter_win with Some f -> f | None -> fun () -> ()
+    in
+    let win_tree () = top_elect t ctx ~port:0 in
+    let backup () =
+      match Path.run ~notify_stop t.backup ctx with
+      | Elim_path.Won -> top_elect t ctx ~port:1
       | Elim_path.Lost -> false
-      | Elim_path.Fell_off -> backup ())
+      | Elim_path.Fell_off ->
+          failwith "Ratrace_lean: fell off the length-n backup path"
+    in
+    match Tree.run ~notify_stop t.tree ctx with
+    | Primary_tree.Won -> win_tree ()
+    | Primary_tree.Lost -> false
+    | Primary_tree.Fell_off j -> (
+        let i = min (j / t.leaves_per_path) (Array.length t.paths - 1) in
+        match Path.run ~notify_stop t.paths.(i) ctx with
+        | Elim_path.Won ->
+            if Tree.ascend_from_leaf t.tree ctx ~leaf:i then win_tree ()
+            else false
+        | Elim_path.Lost -> false
+        | Elim_path.Fell_off -> backup ())
+end
+
+include Make (Backend.Sim_mem)

@@ -13,7 +13,14 @@
     Expected step complexity O(log k) against the adaptive adversary,
     with Theta(n) registers instead of Theta(n^3). *)
 
-type t
+module Make (M : Backend.Mem.S) : sig
+  type t
+
+  val create : ?name:string -> M.mem -> n:int -> t
+  val elect : ?notify_splitter_win:(unit -> unit) -> t -> M.ctx -> bool
+end
+
+type t = Make(Backend.Sim_mem).t
 
 val create : ?name:string -> Sim.Memory.t -> n:int -> t
 

@@ -2,7 +2,10 @@
 
    These exercise the algorithms across true parallel domains; the
    adversary is the OS scheduler, so assertions are safety properties
-   plus single-run liveness. Domain counts are kept small. *)
+   plus single-run liveness. Domain counts are kept small.
+
+   Contender identity is everywhere a [slot] in [0 .. n-1]; algorithms
+   that need nonzero splitter ids derive them internally. *)
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -24,8 +27,8 @@ let test_mc_le2_single_thread () =
   for _ = 1 to 50 do
     let le = Multicore.Mc_le2.create () in
     let rng = Random.State.make [| 1 |] in
-    let a = Multicore.Mc_le2.elect le rng ~port:0 in
-    let b = Multicore.Mc_le2.elect le rng ~port:1 in
+    let a = Multicore.Mc_le2.elect le rng ~slot:0 in
+    let b = Multicore.Mc_le2.elect le rng ~slot:1 in
     checkb "first wins" true a;
     checkb "second loses" false b
   done
@@ -34,7 +37,7 @@ let test_mc_le2_parallel () =
   for _ = 1 to 100 do
     let le = Multicore.Mc_le2.create () in
     let results =
-      run_domains ~k:2 (fun slot rng -> Multicore.Mc_le2.elect le rng ~port:slot)
+      run_domains ~k:2 (fun slot rng -> Multicore.Mc_le2.elect le rng ~slot)
     in
     let winners = List.length (List.filter Fun.id results) in
     checki "exactly one winner" 1 winners
@@ -43,7 +46,7 @@ let test_mc_le2_parallel () =
 let test_mc_le2_solo () =
   let le = Multicore.Mc_le2.create () in
   let rng = Random.State.make [| 3 |] in
-  checkb "solo wins" true (Multicore.Mc_le2.elect le rng ~port:1)
+  checkb "solo wins" true (Multicore.Mc_le2.elect le rng ~slot:1)
 
 let test_mc_tournament_parallel () =
   List.iter
@@ -84,13 +87,14 @@ let test_mc_sift_solo () =
 
 let test_mc_splitter_solo () =
   let sp = Multicore.Mc_splitter.create () in
-  checkb "solo stops" true (Multicore.Mc_splitter.split sp ~id:5 = Multicore.Mc_splitter.S)
+  checkb "solo stops" true
+    (Multicore.Mc_splitter.split sp ~slot:5 = Multicore.Mc_splitter.S)
 
 let test_mc_splitter_parallel () =
   for _ = 1 to 100 do
     let sp = Multicore.Mc_splitter.create () in
     let results =
-      run_domains ~k:3 (fun slot _rng -> Multicore.Mc_splitter.split sp ~id:(slot + 1))
+      run_domains ~k:3 (fun slot _rng -> Multicore.Mc_splitter.split sp ~slot)
     in
     let count v = List.length (List.filter (fun r -> r = v) results) in
     checkb "at most one S" true (count Multicore.Mc_splitter.S <= 1);
@@ -102,7 +106,7 @@ let test_mc_elim_parallel () =
   for _ = 1 to 50 do
     let le = Multicore.Mc_elim.create ~n:4 in
     let results =
-      run_domains ~k:4 (fun slot rng -> Multicore.Mc_elim.elect le rng ~id:(slot + 1))
+      run_domains ~k:4 (fun slot rng -> Multicore.Mc_elim.elect le rng ~slot)
     in
     checki "exactly one winner" 1 (List.length (List.filter Fun.id results))
   done
@@ -110,7 +114,7 @@ let test_mc_elim_parallel () =
 let test_mc_elim_sequential () =
   let le = Multicore.Mc_elim.create ~n:4 in
   let rng = Random.State.make [| 9 |] in
-  let results = List.init 4 (fun slot -> Multicore.Mc_elim.elect le rng ~id:(slot + 1)) in
+  let results = List.init 4 (fun slot -> Multicore.Mc_elim.elect le rng ~slot) in
   checki "one winner" 1 (List.length (List.filter Fun.id results))
 
 let tas_impls =
@@ -150,6 +154,97 @@ let test_mc_tas_sequential_semantics () =
   checki "second gets 1" 1 (Multicore.Mc_tas.apply tas rng ~slot:1);
   checki "third gets 1" 1 (Multicore.Mc_tas.apply tas rng ~slot:2)
 
+(* --- Differential backend test ---------------------------------------
+
+   Both backends of a functorized election are the same algorithm, so
+   under any schedule in which each contender runs to completion before
+   the next starts, the outcome vector is determined by the contender
+   order alone: the first contender meets only fresh splitters / duels
+   and wins, everyone after it loses to state the winner left behind —
+   whatever either backend's coins say. The simulator run under a
+   run-to-completion adversary must therefore produce bit-for-bit the
+   outcome vector of the Atomic_mem run executed sequentially in the
+   same order, for every seed and every contender permutation. *)
+
+let permutation rng k =
+  let order = Array.init k Fun.id in
+  for i = k - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  order
+
+(* Schedule the runnable pid that comes earliest in [order]; since a
+   scheduled process stays the earliest until it finishes, this runs
+   order.(0) to completion, then order.(1), etc. *)
+let seq_order_adversary order =
+  let rank = Array.make (Array.length order) 0 in
+  Array.iteri (fun i pid -> rank.(pid) <- i) order;
+  Sim.Adversary.adaptive "seq-order" (fun v ->
+      let best = ref v.Sim.Sched.runnable.(0) in
+      Array.iter
+        (fun pid -> if rank.(pid) < rank.(!best) then best := pid)
+        v.Sim.Sched.runnable;
+      Sim.Sched.Schedule !best)
+
+let sim_outcomes entry ~k ~order ~seed =
+  let mem = Sim.Memory.create () in
+  let le = entry.Rtas.Registry.make mem ~n:k in
+  let sched = Sim.Sched.create ~seed (Leaderelect.Le.programs le ~k) in
+  Sim.Sched.run sched (seq_order_adversary order);
+  Array.map (fun r -> r = Some 1) (Sim.Sched.results sched)
+
+let atomic_outcomes make_mc ~k ~order ~seed =
+  let le = make_mc ~n:k in
+  let results = Array.make k false in
+  Array.iter
+    (fun slot ->
+      let rng = Random.State.make [| Int64.to_int seed; slot; 0x5EED |] in
+      results.(slot) <- Multicore.Mc_le.elect le rng ~slot)
+    order;
+  results
+
+let test_differential entry make_mc () =
+  let k = 4 in
+  for seed_int = 1 to 120 do
+    let seed = Int64.of_int (seed_int * 7919) in
+    let order = permutation (Random.State.make [| seed_int; 0xD1FF |]) k in
+    let sim = sim_outcomes entry ~k ~order ~seed in
+    let atomic = atomic_outcomes make_mc ~k ~order ~seed in
+    checkb "backends agree" true (sim = atomic);
+    let winners a = Array.to_list a |> List.filter Fun.id |> List.length in
+    checki "sim: exactly one winner" 1 (winners sim);
+    checki "atomic: exactly one winner" 1 (winners atomic);
+    checkb "first in order wins" true atomic.(order.(0))
+  done
+
+let differential_cases =
+  List.filter_map
+    (fun (e : Rtas.Registry.entry) ->
+      Option.map
+        (fun make_mc ->
+          Alcotest.test_case e.Rtas.Registry.name `Quick
+            (test_differential e make_mc))
+        e.Rtas.Registry.make_mc)
+    Rtas.Registry.all
+
+let test_registry_backends_present () =
+  let with_mc =
+    List.filter
+      (fun (e : Rtas.Registry.entry) -> e.Rtas.Registry.make_mc <> None)
+      Rtas.Registry.all
+  in
+  checkb "at least 4 dual-backend entries" true (List.length with_mc >= 4);
+  List.iter
+    (fun (e : Rtas.Registry.entry) ->
+      let le = (Option.get e.Rtas.Registry.make_mc) ~n:4 in
+      checkb "mc name matches registry" true
+        (Multicore.Mc_le.name le = e.Rtas.Registry.name);
+      checkb "allocates registers" true (Multicore.Mc_le.registers le > 0))
+    with_mc
+
 let () =
   Alcotest.run "multicore"
     [
@@ -186,7 +281,7 @@ let () =
                 let le = Multicore.Mc_rr_lean.create ~n:4 in
                 let results =
                   run_domains ~k:4 (fun slot rng ->
-                      Multicore.Mc_rr_lean.elect le rng ~id:(slot + 1))
+                      Multicore.Mc_rr_lean.elect le rng ~slot)
                 in
                 checki "exactly one winner" 1
                   (List.length (List.filter Fun.id results))
@@ -196,7 +291,7 @@ let () =
                 let le = Multicore.Mc_rr_lean.create ~n:8 in
                 let results =
                   run_domains ~k:8 (fun slot rng ->
-                      Multicore.Mc_rr_lean.elect le rng ~id:(slot + 1))
+                      Multicore.Mc_rr_lean.elect le rng ~slot)
                 in
                 checki "exactly one winner" 1
                   (List.length (List.filter Fun.id results))
@@ -204,13 +299,13 @@ let () =
           Alcotest.test_case "solo" `Quick (fun () ->
               let le = Multicore.Mc_rr_lean.create ~n:8 in
               let rng = Random.State.make [| 21 |] in
-              checkb "solo wins" true (Multicore.Mc_rr_lean.elect le rng ~id:3));
+              checkb "solo wins" true (Multicore.Mc_rr_lean.elect le rng ~slot:3));
           Alcotest.test_case "sequential" `Quick (fun () ->
               let le = Multicore.Mc_rr_lean.create ~n:4 in
               let rng = Random.State.make [| 23 |] in
               let results =
                 List.init 4 (fun slot ->
-                    Multicore.Mc_rr_lean.elect le rng ~id:(slot + 1))
+                    Multicore.Mc_rr_lean.elect le rng ~slot)
               in
               checki "one winner" 1 (List.length (List.filter Fun.id results)));
         ] );
@@ -224,4 +319,10 @@ let () =
             Alcotest.test_case "sequential semantics" `Quick
               test_mc_tas_sequential_semantics;
           ] );
+      ("differential", differential_cases);
+      ( "registry",
+        [
+          Alcotest.test_case "dual backends" `Quick
+            test_registry_backends_present;
+        ] );
     ]

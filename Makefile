@@ -1,4 +1,4 @@
-.PHONY: all check test build chaos-smoke bench-smoke trace-smoke mc-smoke perf-bench perf-regress clean
+.PHONY: all check test build chaos-smoke bench-smoke trace-smoke mc-smoke service-smoke perf-bench perf-regress clean
 
 all: build
 
@@ -14,6 +14,7 @@ check:
 	dune build && dune runtest
 	$(MAKE) trace-smoke
 	$(MAKE) mc-smoke
+	$(MAKE) service-smoke
 	$(MAKE) perf-regress
 
 # Fast chaos smoke: small system, few trials, fixed seed, both the
@@ -40,8 +41,26 @@ bench-smoke:
 	git check-ignore -q _build
 	dune exec bench/main.exe -- perf --domains 2 --exact-domains \
 	  --trials 40 --scale 0.001 --out BENCH_smoke.json
-	jq -e '.schema_version == 2 and .parallel_sweep.bit_identical == true and (.parallel_sweep.trials_per_sec > 0) and .parallel_sweep.domains_requested == 2' BENCH_smoke.json >/dev/null
+	jq -e '.schema_version == 3 and .parallel_sweep.bit_identical == true and (.parallel_sweep.trials_per_sec > 0) and .parallel_sweep.domains_requested == 2 and .service.reproducible == true' BENCH_smoke.json >/dev/null
 	@echo "bench-smoke: BENCH_smoke.json OK"
+
+# Lock-service smoke: a Poisson run on each backend plus a chaos
+# variant, each validated with jq — the report must account for every
+# client, complete work, and (under chaos) recover every crashed
+# holder without wedging a key. Scratch files only.
+service-smoke:
+	dune exec bin/rtas_cli.exe -- service --alg log* --backend sim \
+	  --arrival poisson --clients 500 --keys 8 --seed 11 -o SVC_sim.json
+	jq -e '.backend == "sim" and .counts.clients == 500 and (.counts.completed + .counts.deadline_exceeded + .counts.crashed_clients + .counts.shed == 500) and .counts.completed > 0 and .latency.p999 >= .latency.p50 and .livelocked == false' SVC_sim.json >/dev/null
+	dune exec bin/rtas_cli.exe -- service --alg tournament --backend atomic \
+	  --arrival poisson --rate 0.005 --clients 150 --keys 4 --domains 4 \
+	  --seed 11 -o SVC_atomic.json
+	jq -e '.backend == "atomic" and .counts.clients == 150 and (.counts.completed + .counts.deadline_exceeded + .counts.crashed_clients + .counts.shed == 150) and .counts.completed > 0 and .livelocked == false' SVC_atomic.json >/dev/null
+	dune exec bin/rtas_cli.exe -- service --alg log* --backend sim \
+	  --arrival bursty --clients 500 --keys 8 --chaos 0.3 --seed 11 \
+	  -o SVC_chaos.json
+	jq -e '.counts.holder_crashes > 0 and .counts.forced_expiries >= .counts.holder_crashes and (.counts.completed + .counts.deadline_exceeded + .counts.crashed_clients + .counts.shed == 500) and .livelocked == false' SVC_chaos.json >/dev/null
+	@echo "service-smoke: sim + atomic + chaos OK"
 
 # Probe smoke: export a Perfetto trace from a small run and validate
 # its structure with jq (every event carries ph/ts/pid/tid; spans

@@ -170,11 +170,20 @@ let add_workers buf key (workers : Engine.worker_stats array) =
 let total_minor_words (workers : Engine.worker_stats array) =
   Array.fold_left (fun a w -> a +. w.Engine.w_minor_words) 0.0 workers
 
-let write_json ~path ~domains ~domains_requested ~scale ~experiments ~sweep =
+type service_result = {
+  svc_algorithm : string;
+  svc_clients : int;
+  svc_wall_s : float;
+  svc_report : Service.Report.t;
+  svc_reproducible : bool;
+}
+
+let write_json ~path ~domains ~domains_requested ~scale ~experiments ~sweep
+    ~service =
   let buf = Buffer.create 1024 in
   let add = Buffer.add_string buf in
   add "{\n";
-  add "  \"schema_version\": 2,\n";
+  add "  \"schema_version\": 3,\n";
   add (Printf.sprintf "  \"domains\": %d,\n" domains);
   add (Printf.sprintf "  \"domains_requested\": %d,\n" domains_requested);
   add
@@ -229,6 +238,33 @@ let write_json ~path ~domains ~domains_requested ~scale ~experiments ~sweep =
            "    \"probe\": {\"compiled_in\": true, \"sink_installed\": %b},\n"
            (Obs.Probe.enabled ()));
       add (Printf.sprintf "    \"bit_identical\": %b\n" s.bit_identical);
+      add "  }\n");
+  (match service with
+  | None -> ()
+  | Some s ->
+      let r = s.svc_report in
+      let c = r.Service.Report.counts in
+      add ",\n  \"service\": {\n";
+      add (Printf.sprintf "    \"algorithm\": \"%s\",\n" s.svc_algorithm);
+      add (Printf.sprintf "    \"clients\": %d,\n" s.svc_clients);
+      add (Printf.sprintf "    \"wall_s\": %.6f,\n" s.svc_wall_s);
+      add
+        (Printf.sprintf "    \"clients_per_sec\": %.2f,\n"
+           (float_of_int c.Service.Report.completed
+           /. Float.max s.svc_wall_s 1e-9));
+      add
+        (Printf.sprintf "    \"completed\": %d,\n" c.Service.Report.completed);
+      add
+        (Printf.sprintf "    \"throughput_per_ktick\": %.6f,\n"
+           r.Service.Report.throughput);
+      (match r.Service.Report.latency with
+      | Some l ->
+          add
+            (Printf.sprintf "    \"p99_ticks\": %.3f,\n"
+               l.Service.Report.l_p99)
+      | None -> add "    \"p99_ticks\": null,\n");
+      add
+        (Printf.sprintf "    \"reproducible\": %b\n" s.svc_reproducible);
       add "  }\n");
   add "}\n";
   let oc = open_out path in
@@ -307,7 +343,40 @@ let run_perf ~domains_requested ~exact ~trials ~scale ~out () =
   in
   Fmt.pr "@.== Family wall-clock (scale %.2f) ==@." scale;
   List.iter (fun (id, wall) -> Fmt.pr "  %-5s %8.3fs@." id wall) experiments;
+  (* The lock-service workload, run twice with one seed: the wall clock
+     feeds the perf gate's clients_per_sec floor and the JSON equality
+     of the two runs feeds its exact reproducibility check. *)
+  let svc_cfg =
+    {
+      (Service.Driver.default ~algorithm:"log*") with
+      Service.Driver.clients = 2000;
+      seed = 42L;
+    }
+  in
+  let svc_r1, svc_wall = Engine.timed (fun () -> Service.Driver.run svc_cfg) in
+  let svc_r2 = Service.Driver.run svc_cfg in
+  let svc_reproducible =
+    Service.Report.to_json svc_r1 = Service.Report.to_json svc_r2
+  in
+  Fmt.pr "@.== Lock service (sim, %d clients) ==@." svc_cfg.Service.Driver.clients;
+  Fmt.pr "  %.3fs wall (%.0f clients/s), reproducible: %b@." svc_wall
+    (float_of_int svc_r1.Service.Report.counts.Service.Report.completed
+    /. Float.max svc_wall 1e-9)
+    svc_reproducible;
+  if not svc_reproducible then begin
+    Fmt.epr "perf: service determinism violation — reruns differ@.";
+    exit 1
+  end;
   write_json ~path:out ~domains ~domains_requested ~scale ~experiments
+    ~service:
+      (Some
+         {
+           svc_algorithm = "log*";
+           svc_clients = svc_cfg.Service.Driver.clients;
+           svc_wall_s = svc_wall;
+           svc_report = svc_r1;
+           svc_reproducible;
+         })
     ~sweep:
       (Some
          {
@@ -348,7 +417,7 @@ let run_tables ~domains ~out ids =
       chosen
   in
   write_json ~path:out ~domains ~domains_requested:domains ~scale:1.0
-    ~experiments:timed ~sweep:None
+    ~experiments:timed ~sweep:None ~service:None
 
 let usage () =
   Fmt.pr

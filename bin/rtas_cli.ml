@@ -499,7 +499,16 @@ let mc_cmd =
       value & opt int 20
       & info [ "trials" ] ~docv:"T" ~doc:"Trials per algorithm.")
   in
-  let mc domains trials seed =
+  let timeout_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Watchdog bound per trial: a stuck Atomic_mem run fails within \
+             this wall-clock budget with a per-domain progress diagnosis \
+             instead of hanging the suite.")
+  in
+  let mc domains trials seed timeout =
     if domains < 1 then failwith "mc: --domains must be >= 1";
     let failed = ref false in
     Fmt.pr "%-16s %8s %7s %10s  %s@." "algorithm" "domains" "trials"
@@ -514,17 +523,31 @@ let mc_cmd =
             for trial = 1 to trials do
               let le = make_mc ~n:domains in
               registers := Multicore.Mc_le.registers le;
-              let doms =
-                List.init domains (fun slot ->
-                    Domain.spawn (fun () ->
-                        let rng =
-                          Random.State.make [| seed; trial; slot; 0x3C0 |]
-                        in
-                        Multicore.Mc_le.elect le rng ~slot))
-              in
-              let results = List.map Domain.join doms in
-              let winners = List.length (List.filter Fun.id results) in
-              if winners <> 1 then incr violations
+              (* The domain race goes through the watchdog: the monitor
+                 polls per-slot done-flags and, past the timeout, leaks
+                 the stuck domains and reports which slots made it. *)
+              match
+                Fault.Watchdog.race ~timeout ~n:domains
+                  ~label:(fun slot ->
+                    Printf.sprintf "%s slot %d" e.Rtas.Registry.name slot)
+                  (fun slot ->
+                    let rng =
+                      Random.State.make [| seed; trial; slot; 0x3C0 |]
+                    in
+                    Multicore.Mc_le.elect le rng ~slot)
+              with
+              | Ok results ->
+                  let winners =
+                    Array.fold_left
+                      (fun acc won -> if won then acc + 1 else acc)
+                      0 results
+                  in
+                  if winners <> 1 then incr violations
+              | Error stuck ->
+                  Fmt.epr "mc: %s trial %d (seed %d) %a@."
+                    e.Rtas.Registry.name trial seed Fault.Watchdog.pp_stuck
+                    stuck;
+                  exit 1
             done;
             if !violations > 0 then failed := true;
             Fmt.pr "%-16s %8d %7d %10d  %s@." e.Rtas.Registry.name domains
@@ -539,8 +562,234 @@ let mc_cmd =
        ~doc:
          "Run every registry algorithm that has a multicore backend on real \
           domains (one per slot) and check that each trial elects a unique \
-          winner. Exits nonzero on any violation.")
-    Term.(const mc $ mc_domains_arg $ trials_arg $ seed_arg)
+          winner. Exits nonzero on any violation, and within bounded \
+          wall-clock on a stuck run (watchdog timeout + per-domain \
+          diagnosis).")
+    Term.(const mc $ mc_domains_arg $ trials_arg $ seed_arg $ timeout_arg)
+
+let service_cmd =
+  let alg_arg =
+    let doc =
+      Printf.sprintf
+        "Algorithm backing every key; one of: %s. The atomic backend needs a \
+         dual-backend entry (%s)."
+        (String.concat ", " (Rtas.Registry.names ()))
+        (String.concat ", " (Rtas.Registry.dual_names ()))
+    in
+    Arg.(value & opt string "log*" & info [ "alg" ] ~docv:"NAME" ~doc)
+  in
+  let backend_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("atomic", `Atomic) ]) `Sim
+      & info [ "backend" ] ~docv:"sim|atomic"
+          ~doc:
+            "sim: deterministic discrete-event run (bit-reproducible for a \
+             fixed seed). atomic: real domains racing Atomic.t CASes, one \
+             tick = 1us.")
+  in
+  let arrival_arg =
+    Arg.(
+      value
+      & opt (enum [ ("poisson", `Poisson); ("bursty", `Bursty) ]) `Poisson
+      & info [ "arrival" ] ~docv:"poisson|bursty" ~doc:"Arrival process.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "rate" ] ~docv:"R" ~doc:"Arrivals per tick (base rate).")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "clients" ] ~docv:"C" ~doc:"Total arrivals to generate.")
+  in
+  let keys_arg =
+    Arg.(value & opt int 16 & info [ "keys" ] ~docv:"K" ~doc:"Lock keys.")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "zipf" ] ~docv:"S" ~doc:"Key-choice skew; 0 is uniform.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt string "exp"
+      & info [ "backoff" ] ~docv:"POLICY"
+          ~doc:
+            "Loser retry policy: $(b,immediate), $(b,exp) (capped \
+             exponential, deterministic jitter; optionally \
+             $(b,exp:BASE:CAP)), or $(b,rand) (uniform; optionally \
+             $(b,rand:MAX)).")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 20_000.0
+      & info [ "deadline" ] ~docv:"D"
+          ~doc:"Per-client deadline in ticks; also the recovery lease.")
+  in
+  let hold_arg =
+    Arg.(
+      value & opt float 64.0
+      & info [ "hold" ] ~docv:"H" ~doc:"Ticks a winner holds its key.")
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt ~vopt:0.15 float 0.0
+      & info [ "chaos" ] ~docv:"P"
+          ~doc:
+            "Holder-crash probability per round: the winner dies without \
+             releasing and the key must recover through round-stamp expiry. \
+             $(b,--chaos) alone means 0.15.")
+  in
+  let max_waiters_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-waiters" ] ~docv:"W"
+          ~doc:"Per-key queue capacity (sim); arrivals beyond it are shed.")
+  in
+  let contenders_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "contenders" ] ~docv:"N"
+          ~doc:"Election width per round (sim).")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan applied inside every sim election round, e.g. \
+             $(b,storm:0.05).")
+  in
+  let svc_timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:"Watchdog wall-clock bound for the atomic backend.")
+  in
+  let svc_domains_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Worker domains for the atomic backend (ignored by sim, whose \
+             result never depends on it).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the JSON report here instead of stdout (the human \
+             summary then prints to stdout, otherwise to stderr).")
+  in
+  let parse_backoff s =
+    match String.split_on_char ':' s with
+    | [ "immediate" ] -> Service.Backoff.Immediate
+    | [ "exp" ] -> Service.Backoff.Exp { base = 8.0; cap = 512.0 }
+    | [ "exp"; b; c ] ->
+        Service.Backoff.Exp { base = float_of_string b; cap = float_of_string c }
+    | [ "rand" ] -> Service.Backoff.Rand { max = 256.0 }
+    | [ "rand"; m ] -> Service.Backoff.Rand { max = float_of_string m }
+    | _ ->
+        Fmt.epr "rtas service: bad --backoff %S@." s;
+        exit 2
+  in
+  let service alg backend arrival rate clients keys zipf backoff deadline hold
+      chaos max_waiters contenders plan_str timeout domains seed out =
+    let arrival =
+      match arrival with
+      | `Poisson -> Service.Arrival.Poisson { rate }
+      | `Bursty ->
+          Service.Arrival.Bursty
+            { rate; burst_len = 500.0; idle_len = 2000.0; boost = 8.0 }
+    in
+    let backoff = parse_backoff backoff in
+    let plan =
+      match plan_str with
+      | None -> None
+      | Some s -> (
+          match Fault.Plan.of_string s with
+          | Ok p -> Some p
+          | Error msg ->
+              Fmt.epr "rtas service: %s@." msg;
+              exit 2)
+    in
+    let seed = Int64.of_int seed in
+    let report =
+      try
+        match backend with
+        | `Sim ->
+            Service.Driver.run
+              {
+                (Service.Driver.default ~algorithm:alg) with
+                clients;
+                keys;
+                zipf_s = zipf;
+                arrival;
+                backoff;
+                deadline;
+                hold;
+                max_waiters;
+                contenders;
+                crash_prob = chaos;
+                plan;
+                seed;
+              }
+        | `Atomic ->
+            if plan_str <> None then
+              Fmt.epr "rtas service: --plan only applies to the sim backend@.";
+            Service.Mc_driver.run
+              {
+                (Service.Mc_driver.default ~algorithm:alg) with
+                clients;
+                keys;
+                zipf_s = zipf;
+                arrival;
+                backoff;
+                deadline;
+                hold;
+                crash_prob = chaos;
+                workers = domains;
+                timeout;
+                seed;
+              }
+      with Invalid_argument msg ->
+        (* Bad algorithm name, missing Atomic_mem port, out-of-range
+           config: a usage error, not an internal one. *)
+        Fmt.epr "rtas service: %s@." msg;
+        exit 2
+    in
+    let json = Service.Report.to_json report in
+    (match out with
+    | None ->
+        print_string json;
+        Fmt.epr "%a@." Service.Report.pp report
+    | Some file ->
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc json);
+        Fmt.pr "wrote %s@.%a@." file Service.Report.pp report);
+    if report.Service.Report.livelocked then exit 1
+  in
+  Cmd.v
+    (Cmd.info "service"
+       ~doc:
+         "Run the open-loop lock service: Poisson/bursty arrivals over a \
+          Zipfian keyspace, each key a resettable (round-stamped) election, \
+          losers retrying under backoff, with deadlines, overload shed and \
+          optional holder-crash chaos. Emits a JSON report with throughput \
+          and p50/p99/p999 latency.")
+    Term.(
+      const service $ alg_arg $ backend_arg $ arrival_arg $ rate_arg
+      $ clients_arg $ keys_arg $ zipf_arg $ backoff_arg $ deadline_arg
+      $ hold_arg $ chaos_arg $ max_waiters_arg $ contenders_arg $ plan_arg
+      $ svc_timeout_arg $ svc_domains_arg $ seed_arg $ out_arg)
 
 let main =
   Cmd.group
@@ -556,6 +805,7 @@ let main =
       trace_cmd;
       profile_cmd;
       mc_cmd;
+      service_cmd;
     ]
 
 let () = exit (Cmd.eval main)

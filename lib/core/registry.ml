@@ -105,3 +105,7 @@ let all =
 let find name = List.find_opt (fun e -> e.name = name) all
 
 let names () = List.map (fun e -> e.name) all
+
+let dual () = List.filter (fun e -> Option.is_some e.make_mc) all
+
+let dual_names () = List.map (fun e -> e.name) (dual ())

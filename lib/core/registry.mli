@@ -28,3 +28,10 @@ val all : entry list
 val find : string -> entry option
 
 val names : unit -> string list
+
+val dual : unit -> entry list
+(** The entries carrying both backends ([make_mc] present) — the ones
+    the multicore chaos harness, the [rtas mc] subcommand and the lock
+    service's [atomic] backend can iterate. *)
+
+val dual_names : unit -> string list

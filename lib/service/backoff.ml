@@ -1,0 +1,40 @@
+type t =
+  | Immediate
+  | Exp of { base : float; cap : float }
+  | Rand of { max : float }
+
+let describe = function
+  | Immediate -> "immediate"
+  | Exp { base; cap } -> Printf.sprintf "exp(base=%g,cap=%g)" base cap
+  | Rand { max } -> Printf.sprintf "rand(max=%g)" max
+
+let validate = function
+  | Immediate -> ()
+  | Exp { base; cap } ->
+      if base <= 0.0 || cap < base then
+        invalid_arg "Backoff: need 0 < base <= cap"
+  | Rand { max } -> if max < 1.0 then invalid_arg "Backoff: max must be >= 1"
+
+(* Jitter is deterministic: the (client, attempt) pair mints its own
+   splitmix stream via two Rng.derive hops, so a retry schedule is a
+   pure function of (policy, seed, client, attempt) — no hidden mutable
+   RNG state shared between clients, hence no cross-client coupling and
+   bit-reproducible backoff under any execution order. *)
+let jitter_u ~seed ~client ~attempt =
+  let s = Sim.Rng.derive (Sim.Rng.derive seed ~stream:client) ~stream:attempt in
+  Sim.Rng.float (Sim.Rng.create s)
+
+let delay t ~seed ~client ~attempt =
+  let attempt = max 1 attempt in
+  match t with
+  (* A zero delay would re-poll a still-held key at the same instant
+     forever; one tick is the smallest forward step. *)
+  | Immediate -> 1.0
+  | Exp { base; cap } ->
+      let raw = Float.min cap (base *. Float.pow 2.0 (float_of_int (attempt - 1))) in
+      let u = jitter_u ~seed ~client ~attempt in
+      (* Decorrelate retries: uniform in [raw/2, raw). *)
+      Float.max 1.0 ((raw /. 2.0) +. (u *. raw /. 2.0))
+  | Rand { max } ->
+      let u = jitter_u ~seed ~client ~attempt in
+      1.0 +. (u *. (max -. 1.0))

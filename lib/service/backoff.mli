@@ -1,0 +1,27 @@
+(** Retry backoff policies for losing lock-service clients.
+
+    - [Immediate]: retry one tick later (the minimum forward step — a
+      true zero-delay retry against a still-held key is a busy loop).
+    - [Exp]: capped exponential backoff with {e deterministic} jitter:
+      attempt [a] waits uniformly in [\[raw/2, raw)] where
+      [raw = min cap (base * 2^(a-1))], the uniform draw coming from a
+      splitmix stream minted with {!Sim.Rng.derive} from
+      [(seed, client, attempt)]. Same inputs, same delay — reproducible
+      workloads with decorrelated clients.
+    - [Rand]: uniform in [\[1, max)], the classic randomized backoff.
+
+    Delays are in ticks (see {!Arrival}). *)
+
+type t =
+  | Immediate
+  | Exp of { base : float; cap : float }
+  | Rand of { max : float }
+
+val describe : t -> string
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on nonsense parameters. *)
+
+val delay : t -> seed:int64 -> client:int -> attempt:int -> float
+(** Delay before retry number [attempt] (1-based; values below 1 are
+    clamped to 1) of [client]. Always >= 1 tick. *)

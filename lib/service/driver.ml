@@ -1,0 +1,459 @@
+type config = {
+  algorithm : string;
+  clients : int;
+  keys : int;
+  zipf_s : float;
+  arrival : Arrival.kind;
+  backoff : Backoff.t;
+  deadline : float;
+  hold : float;
+  max_waiters : int;
+  contenders : int;
+  crash_prob : float;
+  plan : Fault.Plan.t option;
+  adversary : [ `Random | `Round_robin ];
+  max_round_steps : int;
+  seed : int64;
+}
+
+let default ~algorithm =
+  {
+    algorithm;
+    clients = 1000;
+    keys = 16;
+    zipf_s = 0.9;
+    arrival = Arrival.Poisson { rate = 0.02 };
+    backoff = Backoff.Exp { base = 8.0; cap = 512.0 };
+    deadline = 20_000.0;
+    hold = 64.0;
+    max_waiters = 64;
+    contenders = 32;
+    crash_prob = 0.0;
+    plan = None;
+    adversary = `Random;
+    max_round_steps = 1_000_000;
+    seed = 1L;
+  }
+
+let validate cfg =
+  if cfg.clients < 1 then invalid_arg "Driver: clients must be >= 1";
+  if cfg.keys < 1 then invalid_arg "Driver: keys must be >= 1";
+  if cfg.deadline <= 0.0 then invalid_arg "Driver: deadline must be > 0";
+  if cfg.hold < 0.0 then invalid_arg "Driver: hold must be >= 0";
+  if cfg.max_waiters < 1 then invalid_arg "Driver: max_waiters must be >= 1";
+  if cfg.contenders < 1 then invalid_arg "Driver: contenders must be >= 1";
+  if not (cfg.crash_prob >= 0.0 && cfg.crash_prob <= 1.0) then
+    invalid_arg "Driver: crash_prob must be in [0, 1]";
+  Arrival.validate cfg.arrival;
+  Backoff.validate cfg.backoff
+
+(* {1 Event heap}
+
+   A binary min-heap on (time, insertion sequence): the sequence
+   tie-break makes simultaneous events fire in insertion order, so the
+   whole simulation is a pure function of the config. *)
+
+module Heap = struct
+  type 'a entry = { at : float; seq : int; ev : 'a }
+
+  type 'a t = {
+    mutable arr : 'a entry array;
+    mutable len : int;
+    mutable seq : int;
+  }
+
+  let create () = { arr = [||]; len = 0; seq = 0 }
+
+  let lt a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+  let push t at ev =
+    let e = { at; seq = t.seq; ev } in
+    t.seq <- t.seq + 1;
+    if t.len = Array.length t.arr then begin
+      let cap = max 64 (2 * t.len) in
+      let bigger = Array.make cap e in
+      Array.blit t.arr 0 bigger 0 t.len;
+      t.arr <- bigger
+    end;
+    t.arr.(t.len) <- e;
+    t.len <- t.len + 1;
+    (* sift up *)
+    let i = ref (t.len - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      lt t.arr.(!i) t.arr.(p)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = t.arr.(p) in
+      t.arr.(p) <- t.arr.(!i);
+      t.arr.(!i) <- tmp;
+      i := p
+    done
+
+  let pop t =
+    if t.len = 0 then None
+    else begin
+      let top = t.arr.(0) in
+      t.len <- t.len - 1;
+      if t.len > 0 then begin
+        t.arr.(0) <- t.arr.(t.len);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < t.len && lt t.arr.(l) t.arr.(!smallest) then smallest := l;
+          if r < t.len && lt t.arr.(r) t.arr.(!smallest) then smallest := r;
+          if !smallest = !i then continue := false
+          else begin
+            let tmp = t.arr.(!smallest) in
+            t.arr.(!smallest) <- t.arr.(!i);
+            t.arr.(!i) <- tmp;
+            i := !smallest
+          end
+        done
+      end;
+      Some (top.at, top.ev)
+    end
+end
+
+(* {1 The discrete-event simulation} *)
+
+type client = {
+  c_id : int;
+  c_key : int;
+  c_arrival : float;
+  mutable c_attempts : int;
+  mutable c_stamp : int;  (* last round this client contended in; -1 *)
+  mutable c_done : bool;
+}
+
+type ev =
+  | Arrive of client
+  | Retry of client
+  | Release of { key : int; round : int; owner : int }
+  | Expire of { key : int; round : int }
+
+let run ?metrics cfg =
+  validate cfg;
+  let entry =
+    match Rtas.Registry.find cfg.algorithm with
+    | Some e -> e
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Driver: unknown algorithm %S (expected one of: %s)"
+             cfg.algorithm
+             (String.concat ", " (Rtas.Registry.names ())))
+  in
+  let seed = cfg.seed in
+  (* Dedicated derive streams, in the repo-wide convention: 10 arrival,
+     11 key choice, 12 chaos, 13 round scheduling. *)
+  let arrivals = Arrival.create cfg.arrival (Sim.Rng.create (Sim.Rng.derive seed ~stream:10)) in
+  let zipf = Zipf.create ~n:cfg.keys ~s:cfg.zipf_s in
+  let zrng = Sim.Rng.create (Sim.Rng.derive seed ~stream:11) in
+  let chaos_rng = Sim.Rng.create (Sim.Rng.derive seed ~stream:12) in
+  let round_base = Sim.Rng.derive seed ~stream:13 in
+  (* Per-key arenas, built once on first touch; every later round is a
+     [Memory.reset] of the same structure — the arena-reuse idiom of
+     DESIGN.md §9 lifted from trial batches to service rounds. *)
+  let arenas : (int, Sim.Memory.t * Leaderelect.Le.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let module E = struct
+    type instance = Leaderelect.Le.t
+
+    let fresh ~key ~round:_ =
+      match Hashtbl.find_opt arenas key with
+      | Some (mem, le) ->
+          Sim.Memory.reset mem;
+          le
+      | None ->
+          let mem = Sim.Memory.create () in
+          let le = entry.Rtas.Registry.make mem ~n:cfg.contenders in
+          Hashtbl.add arenas key (mem, le);
+          le
+  end in
+  let module R = Resettable.Make (E) in
+  let keys =
+    Array.init cfg.keys (fun _ -> (None : (R.t * client Queue.t) option))
+  in
+  let key_state k =
+    match keys.(k) with
+    | Some ks -> ks
+    | None ->
+        let ks = (R.create ~key:k ~now:0.0, Queue.create ()) in
+        keys.(k) <- Some ks;
+        ks
+  in
+  let heap = Heap.create () in
+  (* Counters. *)
+  let completed = ref 0
+  and deadline_exceeded = ref 0
+  and crashed_clients = ref 0
+  and holder_crashes = ref 0
+  and shed = ref 0
+  and retries = ref 0
+  and rounds = ref 0
+  and stale_wins = ref 0 in
+  let latencies = ref [] in
+  let n_lat = ref 0 in
+  let lat_hist =
+    Option.map (fun m -> Obs.Metrics.histogram m "service.latency_ticks") metrics
+  in
+  let resolve c =
+    assert (not c.c_done);
+    c.c_done <- true
+  in
+  let complete c ~now =
+    resolve c;
+    incr completed;
+    let l = now -. c.c_arrival in
+    latencies := l :: !latencies;
+    incr n_lat;
+    Option.iter (fun h -> Obs.Metrics.observe h (int_of_float l)) lat_hist
+  in
+  (* Generate the whole open-loop arrival schedule up front (times are
+     strictly increasing, keys Zipfian). *)
+  for i = 0 to cfg.clients - 1 do
+    let at = Arrival.next arrivals in
+    let c =
+      {
+        c_id = i;
+        c_key = Zipf.sample zipf zrng;
+        c_arrival = at;
+        c_attempts = 0;
+        c_stamp = -1;
+        c_done = false;
+      }
+    in
+    Heap.push heap at (Arrive c)
+  done;
+  let base_adversary sseed =
+    match cfg.adversary with
+    | `Round_robin -> Sim.Adversary.round_robin ()
+    | `Random ->
+        Sim.Adversary.random_oblivious ~seed:(Sim.Rng.derive sseed ~stream:1)
+  in
+  (* The per-key burned flag: the current round's one-shot instance has
+     hosted its election (its contender slots are consumed), so no
+     second election may run on it — the key waits for the Release or
+     Expire that installs the next round. *)
+  let burned = Array.make cfg.keys false in
+  let rec maybe_round k now =
+    let res, waiting = key_state k in
+    match R.state res with
+    | Resettable.Held _ -> ()
+    | Resettable.Open { round; inst; _ } ->
+        if burned.(k) || Queue.is_empty waiting then ()
+        else begin
+          (* Pick contenders FIFO: drop expired waiters, skip clients
+             already stamped with this round, cap the round size. *)
+          let picked = ref [] and npicked = ref 0 in
+          let rest = Queue.create () in
+          Queue.iter
+        (fun c ->
+              if now -. c.c_arrival > cfg.deadline then begin
+                resolve c;
+                incr deadline_exceeded
+              end
+              else if c.c_stamp < round && !npicked < cfg.contenders then begin
+                picked := c :: !picked;
+                incr npicked
+              end
+              else Queue.add c rest)
+            waiting;
+          Queue.clear waiting;
+          Queue.transfer rest waiting;
+          match List.rev !picked with
+          | [] -> ()
+          | contenders -> run_round k res round inst contenders now
+        end
+  and run_round k res round inst contenders now =
+    incr rounds;
+    burned.(k) <- true;
+    let contenders = Array.of_list contenders in
+    Array.iter
+      (fun c ->
+        c.c_stamp <- round;
+        c.c_attempts <- c.c_attempts + 1)
+      contenders;
+    let nc = Array.length contenders in
+    let sseed = Sim.Rng.derive round_base ~stream:!rounds in
+    let adv = base_adversary sseed in
+    let adv =
+      match cfg.plan with
+      | None -> adv
+      | Some plan ->
+          Fault.Plan.apply ~seed:(Sim.Rng.derive sseed ~stream:2) plan adv
+    in
+    let sched =
+      Sim.Sched.create ~seed:sseed (Leaderelect.Le.programs inst ~k:nc)
+    in
+    let livelocked =
+      match Sim.Sched.run ~max_total_steps:cfg.max_round_steps sched adv with
+      | () -> false
+      | exception Failure _ -> true
+    in
+    let duration = Float.max 1.0 (float_of_int (Sim.Sched.time sched)) in
+    let t_end = now +. duration in
+    (* One chaos draw per round keeps the stream aligned whatever the
+       round's outcome. *)
+    let u = if cfg.crash_prob > 0.0 then Sim.Rng.float chaos_rng else 1.0 in
+    let winner = ref None in
+    Array.iteri
+      (fun pid c ->
+        match Sim.Sched.status sched pid with
+        | Sim.Sched.Finished 1 -> winner := Some c
+        | Sim.Sched.Finished _ -> ()
+        | Sim.Sched.Running | Sim.Sched.Crashed ->
+            (* Crashed mid-election by the fault plan (or cut off by a
+               livelock bound): the client is gone. *)
+            ignore livelocked;
+            resolve c;
+            incr crashed_clients)
+      contenders;
+    (match !winner with
+    | Some wc ->
+        let claimed = R.claim res ~round ~owner:wc.c_id ~now:t_end in
+        (* The driver is single-threaded: nothing can move the round
+           between the election and the claim. *)
+        assert claimed;
+        if u < cfg.crash_prob then begin
+          (* The holder crashes without releasing: the key must recover
+             through the round-stamp expiry path. *)
+          incr holder_crashes;
+          resolve wc;
+          incr crashed_clients;
+          Heap.push heap (t_end +. cfg.deadline) (Expire { key = k; round })
+        end
+        else begin
+          complete wc ~now:t_end;
+          Heap.push heap (t_end +. cfg.hold)
+            (Release { key = k; round; owner = wc.c_id })
+        end
+    | None ->
+        (* Zero-winner round: every contender (or at least the would-be
+           winner) crashed. The round is wedged until the lease runs
+           out. *)
+        Heap.push heap (t_end +. cfg.deadline) (Expire { key = k; round }));
+    (* Losers retry under the backoff policy; the deadline check
+       happens when the retry fires. *)
+    Array.iteri
+      (fun pid c ->
+        match Sim.Sched.status sched pid with
+        | Sim.Sched.Finished 0 when not c.c_done ->
+            let d =
+              Backoff.delay cfg.backoff ~seed ~client:c.c_id
+                ~attempt:c.c_attempts
+            in
+            Heap.push heap (t_end +. d) (Retry c)
+        | _ -> ())
+      contenders
+  in
+  let join c now =
+    let _, waiting = key_state c.c_key in
+    if Queue.length waiting >= cfg.max_waiters then begin
+      (* Overload shed: report the rejection instead of queueing
+         without bound. *)
+      resolve c;
+      incr shed
+    end
+    else begin
+      Queue.add c waiting;
+      maybe_round c.c_key now
+    end
+  in
+  let last_time = ref 0.0 in
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (now, ev) ->
+        last_time := Float.max !last_time now;
+        (match ev with
+        | Arrive c -> join c now
+        | Retry c ->
+            if not c.c_done then begin
+              incr retries;
+              if now -. c.c_arrival > cfg.deadline then begin
+                resolve c;
+                incr deadline_exceeded
+              end
+              else join c now
+            end
+        | Release { key; round; owner } ->
+            let res, _ = key_state key in
+            let ok = R.release res ~round ~owner ~now in
+            assert ok;
+            burned.(key) <- false;
+            maybe_round key now
+        | Expire { key; round } ->
+            let res, _ = key_state key in
+            if R.force_expire res ~round ~now then begin
+              burned.(key) <- false;
+              maybe_round key now
+            end);
+        loop ()
+  in
+  loop ();
+  (* Defensive drain: a waiter still queued here could only have been
+     stranded by a driver bug; account it as deadline-exceeded rather
+     than losing it. *)
+  Array.iter
+    (function
+      | None -> ()
+      | Some (_, waiting) ->
+          Queue.iter
+            (fun c ->
+              if not c.c_done then begin
+                resolve c;
+                incr deadline_exceeded
+              end)
+            waiting)
+    keys;
+  let forced =
+    Array.fold_left
+      (fun acc -> function None -> acc | Some (res, _) -> acc + R.expiries res)
+      0 keys
+  in
+  let counts =
+    {
+      Report.clients = cfg.clients;
+      completed = !completed;
+      deadline_exceeded = !deadline_exceeded;
+      crashed_clients = !crashed_clients;
+      holder_crashes = !holder_crashes;
+      forced_expiries = forced;
+      shed = !shed;
+      retries = !retries;
+      rounds = !rounds;
+      stale_wins = !stale_wins;
+    }
+  in
+  assert (Report.balanced counts);
+  let duration = Float.max 1.0 !last_time in
+  let report =
+    {
+      Report.backend = "sim";
+      algorithm = cfg.algorithm;
+      keys = cfg.keys;
+      zipf_s = cfg.zipf_s;
+      arrival = Arrival.describe cfg.arrival;
+      backoff = Backoff.describe cfg.backoff;
+      deadline = cfg.deadline;
+      hold = cfg.hold;
+      crash_prob = cfg.crash_prob;
+      workers = 1;
+      seed;
+      duration;
+      throughput = float_of_int !completed /. duration *. 1000.0;
+      counts;
+      latency =
+        Report.latency_of_samples (Array.of_list (List.rev !latencies));
+      livelocked = false;
+      diagnosis = None;
+    }
+  in
+  Option.iter (fun m -> Report.observe_metrics m report) metrics;
+  report

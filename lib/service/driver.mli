@@ -1,0 +1,61 @@
+(** The simulator-backend lock service: an open-loop workload driven as
+    a discrete-event simulation over {!Resettable} keys.
+
+    Clients arrive on a Poisson or bursty schedule ({!Arrival}), pick a
+    key Zipfian-ly ({!Zipf}), and queue on it. Whenever a key is [Open]
+    with a fresh one-shot instance and has eligible waiters, the driver
+    runs one election {e round}: it stamps the contenders with the round
+    number, runs the registered algorithm's programs to completion under
+    a derived-seed {!Sim.Sched} (optionally under a {!Fault.Plan}
+    adversary), and advances virtual time by the election's span. The
+    winner claims the round; losers retry after a {!Backoff} delay;
+    clients whose age exceeds the deadline resolve as deadline-exceeded;
+    arrivals that find the key's queue full are shed.
+
+    Chaos ([crash_prob]): each round's winner crashes with that
+    probability {e after} claiming and never releases — the key recovers
+    only through {!Resettable.Make.force_expire} when the lease (equal
+    to the deadline) runs out, exercising the round-stamp recovery path
+    end to end. Mid-election contender crashes come from [plan].
+
+    The whole run is a pure function of the config: virtual time, a
+    deterministic event heap, and {!Sim.Rng.derive}-split streams make
+    the report (and its JSON) bit-identical across repeats and machines.
+
+    All times are in ticks. One election round occupies the key for the
+    election's simulated span (its {!Sim.Sched.time}), then [hold] more
+    ticks before release. *)
+
+type config = {
+  algorithm : string;  (** A {!Rtas.Registry} entry name. *)
+  clients : int;  (** Total arrivals to generate. *)
+  keys : int;
+  zipf_s : float;  (** Key-choice skew; [0.] is uniform. *)
+  arrival : Arrival.kind;
+  backoff : Backoff.t;
+  deadline : float;  (** Per-client age limit, and the round lease. *)
+  hold : float;  (** Ticks a winner holds the key after its round. *)
+  max_waiters : int;  (** Per-key queue capacity; beyond it, shed. *)
+  contenders : int;
+      (** Election width [n]: instances are built with this many slots
+          and a round admits at most this many contenders. *)
+  crash_prob : float;  (** Per-round holder-crash probability. *)
+  plan : Fault.Plan.t option;  (** Mid-election crash/delay storms. *)
+  adversary : [ `Random | `Round_robin ];  (** Intra-round scheduler. *)
+  max_round_steps : int;  (** Livelock bound on a single round. *)
+  seed : int64;
+}
+
+val default : algorithm:string -> config
+(** Moderate-contention defaults: 1000 clients, 16 keys, zipf 0.9,
+    Poisson rate 0.02/tick, capped-exponential backoff, deadline 20k
+    ticks, no chaos, seed 1. *)
+
+val validate : config -> unit
+(** Raises [Invalid_argument] on out-of-range fields. *)
+
+val run : ?metrics:Obs.Metrics.t -> config -> Report.t
+(** Run the workload to completion (the event heap drains — open-loop
+    arrivals are finite). When [metrics] is given, completion latencies
+    stream into a [service.latency_ticks] histogram and the final
+    totals into [service.*] counters. *)

@@ -1,0 +1,35 @@
+type t = { cdf : float array }
+
+let create ~n ~s =
+  if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be >= 0";
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+    cdf.(i) <- !total
+  done;
+  (* Normalise so the last entry is exactly 1.0 and no [Rng.float] draw
+     (always < 1.0) can fall past it. *)
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. !total
+  done;
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let size t = Array.length t.cdf
+
+let pmf t i =
+  if i < 0 || i >= size t then invalid_arg "Zipf.pmf: index out of range";
+  if i = 0 then t.cdf.(0) else t.cdf.(i) -. t.cdf.(i - 1)
+
+(* First index whose cumulative weight exceeds u: binary search, so a
+   draw is O(log n) with no allocation. *)
+let sample t rng =
+  let u = Sim.Rng.float rng in
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo

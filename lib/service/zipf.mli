@@ -1,0 +1,27 @@
+(** Zipfian key-popularity sampler.
+
+    The lock-service workload contends on a keyspace whose popularity
+    follows a Zipf distribution with skew [s]: key [i] (0-based) is
+    drawn with probability proportional to [1/(i+1)^s]. [s = 0] is the
+    uniform distribution; [s ~ 1] is the classic web/cache skew where a
+    handful of hot keys absorb most of the traffic — the shape that
+    makes tail latency interesting.
+
+    The sampler precomputes the normalised CDF once ([O(n)]) and draws
+    by binary search ([O(log n)], allocation-free), with all randomness
+    flowing through {!Sim.Rng} so workloads are reproducible from their
+    seed. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a sampler over keys [0 .. n-1] with skew
+    [s]. Raises [Invalid_argument] when [n < 1] or [s < 0]. *)
+
+val size : t -> int
+
+val sample : t -> Sim.Rng.t -> int
+(** A key in [0 .. n-1], Zipf-distributed. *)
+
+val pmf : t -> int -> float
+(** Exact probability of a key, for tests. *)

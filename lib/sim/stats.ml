@@ -6,6 +6,7 @@ type summary = {
   max : float;
   median : float;
   p95 : float;
+  p999 : float;
 }
 
 let mean_array xs =
@@ -15,14 +16,25 @@ let mean_array xs =
 
 let mean xs = mean_array (Array.of_list xs)
 
-(* Nearest-rank percentile on an already-sorted array: O(1). *)
+(* Nearest-rank percentile on an already-sorted array: O(1). The edge
+   shapes are handled explicitly — empty is an explicit error and a
+   singleton short-circuits — so no input reaches the rank arithmetic
+   able to index out of bounds (p = 0 yields rank -1, p = 1 yields
+   rank n - 1; both ends are clamped anyway, by construction). *)
 let percentile_sorted sorted p =
-  let n = Array.length sorted in
-  if n = 0 then invalid_arg "Stats.percentile: empty sample";
   if not (p >= 0.0 && p <= 1.0) then
     invalid_arg "Stats.percentile: p must be in [0, 1]";
-  let rank = min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1) in
-  sorted.(max 0 rank)
+  match Array.length sorted with
+  | 0 -> invalid_arg "Stats.percentile: empty sample"
+  | 1 -> sorted.(0)
+  | n ->
+      let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+      sorted.(min (n - 1) (max 0 rank))
+
+let percentile_sorted_opt sorted p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg "Stats.percentile: p must be in [0, 1]";
+  if Array.length sorted = 0 then None else Some (percentile_sorted sorted p)
 
 let sorted_of_list xs =
   let a = Array.of_list xs in
@@ -52,6 +64,7 @@ let summarize_sorted sorted =
     max = sorted.(n - 1);
     median = percentile_sorted sorted 0.5;
     p95 = percentile_sorted sorted 0.95;
+    p999 = percentile_sorted sorted 0.999;
   }
 
 let summarize_array xs =
@@ -62,5 +75,5 @@ let summarize_array xs =
 let summarize xs = summarize_sorted (sorted_of_list xs)
 
 let pp_summary ppf s =
-  Fmt.pf ppf "%.2f +/- %.2f (median %.2f, p95 %.2f, n=%d)" s.mean s.stddev
-    s.median s.p95 s.count
+  Fmt.pf ppf "%.2f +/- %.2f (median %.2f, p95 %.2f, p999 %.2f, n=%d)" s.mean
+    s.stddev s.median s.p95 s.p999 s.count

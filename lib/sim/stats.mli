@@ -13,6 +13,10 @@ type summary = {
   max : float;
   median : float;
   p95 : float;
+  p999 : float;
+      (** Nearest-rank 99.9th percentile — the tail-latency metric the
+          service benchmarks report. Equals [max] for samples smaller
+          than 1000. *)
 }
 
 val summarize : float list -> summary
@@ -36,7 +40,18 @@ val percentile : float list -> float -> float
 
 val percentile_sorted : float array -> float -> float
 (** Nearest-rank percentile on an already-sorted array: O(1) per call,
-    so summarising many percentiles costs one sort total. *)
+    so summarising many percentiles costs one sort total.
+
+    Edge cases are explicit rather than falling out of index
+    arithmetic: the empty array raises [Invalid_argument] (never an
+    out-of-bounds access), a single-element array returns its element
+    for every [p], and [p] outside [\[0, 1\]] raises
+    [Invalid_argument]. *)
+
+val percentile_sorted_opt : float array -> float -> float option
+(** Total variant of {!percentile_sorted}: [None] on the empty array
+    (still raises on [p] outside [\[0, 1\]] — that is a caller bug, not
+    a data shape). *)
 
 val pp_summary : summary Fmt.t
-(** ["mean +/- sd (median m, p95 q, n)"]. *)
+(** ["mean +/- sd (median m, p95 q, p999 r, n)"]. *)

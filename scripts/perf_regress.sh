@@ -14,7 +14,9 @@
 #     noise-free regression signal for the trial hot path.
 #   - per-experiment wall clock: <= 4x baseline + 1s grace each, again
 #     loose because the families are timed once, not averaged.
-#   - schema/bit_identical: exact.
+#   - service clients/sec (sim lock-service workload): current must be
+#     >= 50% of the baseline, same rationale as throughput.
+#   - schema/bit_identical/service reproducibility: exact.
 set -eu
 
 CUR=${1:-BENCH_results.json}
@@ -28,10 +30,10 @@ fail() {
 [ -f "$CUR" ] || fail "missing $CUR (run 'make perf-bench' first)"
 [ -f "$BASE" ] || fail "missing baseline $BASE"
 
-jq -e '.schema_version == 2' "$CUR" >/dev/null \
-    || fail "$CUR: schema_version != 2"
-jq -e '.schema_version == 2' "$BASE" >/dev/null \
-    || fail "$BASE: schema_version != 2"
+jq -e '.schema_version == 3' "$CUR" >/dev/null \
+    || fail "$CUR: schema_version != 3"
+jq -e '.schema_version == 3' "$BASE" >/dev/null \
+    || fail "$BASE: schema_version != 3"
 jq -e '.parallel_sweep.bit_identical == true' "$CUR" >/dev/null \
     || fail "$CUR: parallel sweep not bit-identical across domain counts"
 
@@ -72,5 +74,16 @@ for id in $(jq -r '.experiments[].id' "$BASE"); do
 done
 [ "$status" -eq 0 ] || exit 1
 
+# Lock-service workload: the sim run must be exactly reproducible
+# (two same-seed runs emitted identical JSON) and its wall-clock
+# throughput must not have cratered.
+jq -e '.service.reproducible == true' "$CUR" >/dev/null \
+    || fail "$CUR: service workload not reproducible across same-seed reruns"
+cur_svc=$(jq '.service.clients_per_sec' "$CUR")
+base_svc=$(jq '.service.clients_per_sec' "$BASE")
+awk -v c="$cur_svc" -v b="$base_svc" 'BEGIN { exit !(c >= 0.5 * b) }' \
+    || fail "service throughput regression: $cur_svc clients/s vs baseline $base_svc (< 50%)"
+
 echo "perf-regress: OK ($cur_tps trials/s vs baseline $base_tps;" \
-    "$cur_words minor words/trial vs baseline $base_words)"
+    "$cur_words minor words/trial vs baseline $base_words;" \
+    "service $cur_svc clients/s vs baseline $base_svc)"

@@ -398,6 +398,43 @@ let test_stats_array_agrees_with_list () =
   Alcotest.(check (float 0.0))
     "mean_array" (Sim.Stats.mean l) (Sim.Stats.mean_array a)
 
+let test_stats_p999_matches_naive () =
+  let rng = Sim.Rng.create 177L in
+  List.iter
+    (fun n ->
+      let l = List.init n (fun _ -> float_of_int (Sim.Rng.int rng 100_000)) in
+      let s = Sim.Stats.summarize l in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "p999 at n=%d" n)
+        (naive_percentile 0.999 l) s.Sim.Stats.p999;
+      (* Below 1000 samples the 99.9th nearest-rank percentile is the
+         maximum — pin that reading down explicitly. *)
+      if n < 1000 then
+        Alcotest.(check (float 0.0)) "p999 = max below 1000 samples"
+          s.Sim.Stats.max s.Sim.Stats.p999)
+    [ 1; 7; 999; 1000; 1001; 5000 ]
+
+let test_stats_percentile_edge_cases () =
+  Alcotest.check_raises "empty sample raises"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Sim.Stats.percentile_sorted [||] 0.5));
+  Alcotest.check_raises "p out of range raises"
+    (Invalid_argument "Stats.percentile: p must be in [0, 1]") (fun () ->
+      ignore (Sim.Stats.percentile_sorted [| 1.0 |] 1.5));
+  (* A single element is every percentile. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        "singleton" 42.0
+        (Sim.Stats.percentile_sorted [| 42.0 |] p))
+    [ 0.0; 0.5; 0.999; 1.0 ];
+  Alcotest.(check (option (float 0.0)))
+    "opt empty" None
+    (Sim.Stats.percentile_sorted_opt [||] 0.5);
+  Alcotest.(check (option (float 0.0)))
+    "opt singleton" (Some 3.0)
+    (Sim.Stats.percentile_sorted_opt [| 3.0 |] 0.999)
+
 let () =
   Alcotest.run "engine"
     [
@@ -461,5 +498,8 @@ let () =
             test_stats_summary_matches_naive;
           Alcotest.test_case "array agrees with list" `Quick
             test_stats_array_agrees_with_list;
+          Alcotest.test_case "p999 vs naive" `Quick test_stats_p999_matches_naive;
+          Alcotest.test_case "percentile edge cases" `Quick
+            test_stats_percentile_edge_cases;
         ] );
     ]

@@ -1,0 +1,385 @@
+(* The service layer: resettable round isolation (differential against
+   fresh one-shot runs), the round-stamp state machine, chaos recovery,
+   driver determinism, and the workload generators. *)
+
+let checkb msg expected actual = Alcotest.(check bool) msg expected actual
+let checki msg expected actual = Alcotest.(check int) msg expected actual
+
+(* {1 Round isolation, differentially}
+
+   A resettable key that reuses its arena across rounds must behave, in
+   every round, exactly like a brand-new one-shot instance: same
+   results, same step counts, same RMR counts for the same derived
+   schedule seed. 120 seeds x 3 rounds per dual-backend entry. *)
+
+let k_diff = 4
+let rounds_diff = 3
+
+let outcome_vector sched =
+  Array.init k_diff (fun pid ->
+      ( Sim.Sched.result sched pid,
+        Sim.Sched.steps sched pid,
+        Sim.Sched.rmrs sched pid ))
+
+let run_election le ~sseed =
+  let sched =
+    Sim.Sched.create ~seed:sseed (Leaderelect.Le.programs le ~k:k_diff)
+  in
+  Sim.Sched.run sched
+    (Sim.Adversary.random_oblivious ~seed:(Sim.Rng.derive sseed ~stream:1));
+  outcome_vector sched
+
+let test_round_isolated_vs_fresh () =
+  List.iter
+    (fun (e : Rtas.Registry.entry) ->
+      let name = e.Rtas.Registry.name in
+      for seed = 1 to 120 do
+        let seed = Int64.of_int seed in
+        (* Arena-reuse path: one memory, one structure, reset per round
+           — exactly what the sim driver's election factory does. *)
+        let mem = Sim.Memory.create () in
+        let le = e.Rtas.Registry.make mem ~n:k_diff in
+        let module E = struct
+          type instance = Leaderelect.Le.t
+
+          let fresh ~key:_ ~round = if round > 0 then Sim.Memory.reset mem; le
+        end in
+        let module R = Service.Resettable.Make (E) in
+        let res = R.create ~key:0 ~now:0.0 in
+        for round = 0 to rounds_diff - 1 do
+          checki (name ^ ": round number") round (R.round res);
+          let inst =
+            match R.state res with
+            | Service.Resettable.Open { inst; _ } -> inst
+            | Service.Resettable.Held _ -> Alcotest.fail (name ^ ": held?")
+          in
+          let sseed = Sim.Rng.derive seed ~stream:round in
+          let reused = run_election inst ~sseed in
+          (* Fresh path: a brand-new arena and structure, same derived
+             seed and adversary. *)
+          let fresh_mem = Sim.Memory.create () in
+          let fresh_le = e.Rtas.Registry.make fresh_mem ~n:k_diff in
+          let fresh = run_election fresh_le ~sseed in
+          checkb
+            (Printf.sprintf "%s seed %Ld round %d: reused = fresh" name seed
+               round)
+            true (reused = fresh);
+          let winners =
+            Array.fold_left
+              (fun a (r, _, _) -> if r = Some 1 then a + 1 else a)
+              0 reused
+          in
+          checki (name ^ ": one winner") 1 winners;
+          let w = ref (-1) in
+          Array.iteri (fun pid (r, _, _) -> if r = Some 1 then w := pid) reused;
+          checkb (name ^ ": claim") true
+            (R.claim res ~round ~owner:!w ~now:1.0);
+          checkb (name ^ ": stale claim rejected") false
+            (R.claim res ~round ~owner:!w ~now:1.0);
+          checkb (name ^ ": release") true
+            (R.release res ~round ~owner:!w ~now:2.0)
+        done
+      done)
+    (Rtas.Registry.dual ())
+
+(* {1 Atomic rounds: exactly one winner per round} *)
+
+let test_atomic_rounds_unique_winner () =
+  let domains = 4 in
+  List.iter
+    (fun (e : Rtas.Registry.entry) ->
+      let make_mc = Option.get e.Rtas.Registry.make_mc in
+      let module E = struct
+        type instance = Multicore.Mc_le.t
+
+        let fresh ~key:_ ~round:_ = make_mc ~n:domains
+      end in
+      let module R = Service.Resettable.Make (E) in
+      for seed = 1 to 10 do
+        let res = R.create ~key:0 ~now:0.0 in
+        for round = 0 to 2 do
+          checki "round" round (R.round res);
+          let inst =
+            match R.state res with
+            | Service.Resettable.Open { inst; _ } -> inst
+            | Service.Resettable.Held _ -> Alcotest.fail "held?"
+          in
+          let results =
+            match
+              Fault.Watchdog.race ~timeout:20.0 ~n:domains (fun slot ->
+                  let rng = Random.State.make [| seed; round; slot; 0x5E |] in
+                  Multicore.Mc_le.elect inst rng ~slot)
+            with
+            | Ok r -> r
+            | Error stuck ->
+                Alcotest.failf "%s: %a" e.Rtas.Registry.name
+                  Fault.Watchdog.pp_stuck stuck
+          in
+          let winners =
+            Array.fold_left (fun a w -> if w then a + 1 else a) 0 results
+          in
+          checki
+            (Printf.sprintf "%s seed %d round %d: unique winner"
+               e.Rtas.Registry.name seed round)
+            1 winners;
+          let w = ref (-1) in
+          Array.iteri (fun slot won -> if won then w := slot) results;
+          checkb "claim" true (R.claim res ~round ~owner:!w ~now:1.0);
+          checkb "release" true (R.release res ~round ~owner:!w ~now:2.0)
+        done
+      done)
+    (Rtas.Registry.dual ())
+
+(* {1 The round-stamp state machine} *)
+
+module Unit_e = struct
+  type instance = int
+
+  let built = ref 0
+
+  let fresh ~key:_ ~round:_ =
+    incr built;
+    !built
+end
+
+module UR = Service.Resettable.Make (Unit_e)
+
+let test_stamp_transitions () =
+  let r = UR.create ~key:3 ~now:0.0 in
+  checki "key" 3 (UR.key r);
+  checki "round 0" 0 (UR.round r);
+  checkb "claim wrong round" false (UR.claim r ~round:1 ~owner:9 ~now:1.0);
+  checkb "claim" true (UR.claim r ~round:0 ~owner:9 ~now:1.0);
+  checkb "double claim" false (UR.claim r ~round:0 ~owner:8 ~now:1.0);
+  checkb "release wrong owner" false (UR.release r ~round:0 ~owner:8 ~now:2.0);
+  checkb "release wrong round" false (UR.release r ~round:1 ~owner:9 ~now:2.0);
+  checkb "release" true (UR.release r ~round:0 ~owner:9 ~now:2.0);
+  checki "round 1" 1 (UR.round r);
+  checkb "stale release" false (UR.release r ~round:0 ~owner:9 ~now:2.0);
+  (* Recovery: expire an Open round (winner crashed before claiming),
+     then a Held one (holder crashed). *)
+  checkb "expire open" true (UR.force_expire r ~round:1 ~now:3.0);
+  checki "round 2" 2 (UR.round r);
+  checkb "claim expired round" false (UR.claim r ~round:1 ~owner:7 ~now:3.0);
+  checkb "claim" true (UR.claim r ~round:2 ~owner:7 ~now:4.0);
+  checkb "expire held" true (UR.force_expire r ~round:2 ~now:9.0);
+  checkb "release after expiry" false (UR.release r ~round:2 ~owner:7 ~now:9.5);
+  checkb "expire stale" false (UR.force_expire r ~round:2 ~now:9.9);
+  checki "expiries" 2 (UR.expiries r);
+  checki "round 3" 3 (UR.round r)
+
+(* {1 The sim driver} *)
+
+let small_cfg ?(chaos = 0.0) ?(seed = 5L) () =
+  {
+    (Service.Driver.default ~algorithm:"log*") with
+    Service.Driver.clients = 300;
+    keys = 8;
+    contenders = 8;
+    crash_prob = chaos;
+    seed;
+  }
+
+let test_driver_deterministic () =
+  let j () = Service.Report.to_json (Service.Driver.run (small_cfg ())) in
+  Alcotest.(check string) "same seed, same JSON" (j ()) (j ());
+  let other =
+    Service.Report.to_json (Service.Driver.run (small_cfg ~seed:6L ()))
+  in
+  checkb "different seed, different JSON" true (j () <> other)
+
+let test_driver_accounts_every_client () =
+  List.iter
+    (fun chaos ->
+      let r = Service.Driver.run (small_cfg ~chaos ()) in
+      let c = r.Service.Report.counts in
+      checkb "balanced" true (Service.Report.balanced c);
+      checkb "completions" true (c.Service.Report.completed > 0);
+      checkb "no livelock" false r.Service.Report.livelocked)
+    [ 0.0; 0.2; 0.6 ]
+
+let test_driver_chaos_recovers () =
+  let r = Service.Driver.run (small_cfg ~chaos:0.5 ()) in
+  let c = r.Service.Report.counts in
+  checkb "holders crashed" true (c.Service.Report.holder_crashes > 0);
+  (* Every wedged round — holder crash or zero-winner — must have been
+     recovered by a forced expiry before the heap drained: a crashed
+     holder never wedges a key for good. *)
+  checkb "every crash recovered" true
+    (c.Service.Report.forced_expiries >= c.Service.Report.holder_crashes);
+  checkb "service still completes work" true
+    (c.Service.Report.completed > 0)
+
+let test_driver_sheds_overload () =
+  let cfg =
+    {
+      (small_cfg ()) with
+      Service.Driver.arrival = Service.Arrival.Poisson { rate = 0.5 };
+      max_waiters = 4;
+      keys = 1;
+      zipf_s = 0.0;
+      deadline = 100_000.0;
+    }
+  in
+  let r = Service.Driver.run cfg in
+  let c = r.Service.Report.counts in
+  checkb "sheds under overload" true (c.Service.Report.shed > 0);
+  checkb "balanced under shed" true (Service.Report.balanced c)
+
+(* {1 The atomic driver} *)
+
+let test_mc_driver_smoke () =
+  let cfg =
+    {
+      (Service.Mc_driver.default ~algorithm:"tournament") with
+      Service.Mc_driver.clients = 60;
+      keys = 4;
+      workers = 3;
+      arrival = Service.Arrival.Poisson { rate = 0.01 };
+      timeout = 60.0;
+      seed = 5L;
+    }
+  in
+  let r = Service.Mc_driver.run cfg in
+  checkb "no livelock" false r.Service.Report.livelocked;
+  checkb "balanced" true (Service.Report.balanced r.Service.Report.counts);
+  checki "all complete without chaos" 60
+    r.Service.Report.counts.Service.Report.completed
+
+let test_mc_driver_chaos_no_wedge () =
+  let cfg =
+    {
+      (Service.Mc_driver.default ~algorithm:"tournament") with
+      Service.Mc_driver.clients = 60;
+      keys = 4;
+      workers = 3;
+      arrival = Service.Arrival.Poisson { rate = 0.01 };
+      deadline = 5_000.0;
+      crash_prob = 0.4;
+      timeout = 60.0;
+      seed = 5L;
+    }
+  in
+  let r = Service.Mc_driver.run cfg in
+  (* The run finishing at all (inside the watchdog bound) is the no-wedge
+     property: every client reached a terminal state even though holders
+     crashed without releasing. *)
+  checkb "no livelock under chaos" false r.Service.Report.livelocked;
+  checkb "balanced under chaos" true
+    (Service.Report.balanced r.Service.Report.counts)
+
+(* {1 Workload generators} *)
+
+let test_zipf () =
+  let z = Service.Zipf.create ~n:8 ~s:0.0 in
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "uniform pmf %d" i)
+        0.125 p)
+    (Array.init 8 (Service.Zipf.pmf z));
+  let z = Service.Zipf.create ~n:8 ~s:1.5 in
+  checkb "skewed head" true (Service.Zipf.pmf z 0 > 4.0 *. Service.Zipf.pmf z 7);
+  let draw seed =
+    let rng = Sim.Rng.create seed in
+    List.init 200 (fun _ -> Service.Zipf.sample z rng)
+  in
+  checkb "sampling deterministic" true (draw 3L = draw 3L);
+  List.iter
+    (fun k -> checkb "sample in range" true (k >= 0 && k < 8))
+    (draw 4L)
+
+let test_arrival () =
+  let times kind seed =
+    let t = Service.Arrival.create kind (Sim.Rng.create seed) in
+    List.init 300 (fun _ -> Service.Arrival.next t)
+  in
+  List.iter
+    (fun kind ->
+      let ts = times kind 9L in
+      checkb "deterministic" true (ts = times kind 9L);
+      ignore
+        (List.fold_left
+           (fun prev t ->
+             checkb "strictly increasing" true (t > prev);
+             t)
+           0.0 ts))
+    [
+      Service.Arrival.Poisson { rate = 0.05 };
+      Service.Arrival.Bursty
+        { rate = 0.01; burst_len = 100.0; idle_len = 400.0; boost = 10.0 };
+    ]
+
+let test_backoff () =
+  let exp = Service.Backoff.Exp { base = 8.0; cap = 512.0 } in
+  let d a = Service.Backoff.delay exp ~seed:11L ~client:4 ~attempt:a in
+  Alcotest.(check (float 0.0)) "deterministic" (d 3) (d 3);
+  for a = 1 to 12 do
+    let raw = Float.min 512.0 (8.0 *. (2.0 ** float_of_int (a - 1))) in
+    let v = d a in
+    checkb
+      (Printf.sprintf "attempt %d in [raw/2, raw)" a)
+      true
+      (v >= raw /. 2.0 && v < raw)
+  done;
+  checkb "clients decorrelated" true
+    (Service.Backoff.delay exp ~seed:11L ~client:5 ~attempt:3 <> d 3);
+  Alcotest.(check (float 0.0))
+    "immediate" 1.0
+    (Service.Backoff.delay Service.Backoff.Immediate ~seed:11L ~client:0
+       ~attempt:1);
+  let r =
+    Service.Backoff.delay
+      (Service.Backoff.Rand { max = 64.0 })
+      ~seed:11L ~client:0 ~attempt:9
+  in
+  checkb "rand in [1, max)" true (r >= 1.0 && r < 64.0)
+
+let test_registry_dual () =
+  let dual = Rtas.Registry.dual () in
+  checkb "some dual entries" true (List.length dual >= 2);
+  List.iter
+    (fun (e : Rtas.Registry.entry) ->
+      checkb (e.Rtas.Registry.name ^ " has mc port") true
+        (Option.is_some e.Rtas.Registry.make_mc))
+    dual;
+  checkb "dual names subset" true
+    (List.for_all
+       (fun n -> List.mem n (Rtas.Registry.names ()))
+       (Rtas.Registry.dual_names ()))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "resettable",
+        [
+          Alcotest.test_case "state machine" `Quick test_stamp_transitions;
+          Alcotest.test_case "rounds = fresh one-shots (120 seeds)" `Slow
+            test_round_isolated_vs_fresh;
+          Alcotest.test_case "atomic rounds unique winner" `Slow
+            test_atomic_rounds_unique_winner;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "bit-deterministic" `Quick
+            test_driver_deterministic;
+          Alcotest.test_case "every client accounted" `Quick
+            test_driver_accounts_every_client;
+          Alcotest.test_case "chaos recovers wedged keys" `Quick
+            test_driver_chaos_recovers;
+          Alcotest.test_case "sheds overload" `Quick test_driver_sheds_overload;
+        ] );
+      ( "mc-driver",
+        [
+          Alcotest.test_case "smoke" `Slow test_mc_driver_smoke;
+          Alcotest.test_case "chaos no wedge" `Slow
+            test_mc_driver_chaos_no_wedge;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "zipf" `Quick test_zipf;
+          Alcotest.test_case "arrival" `Quick test_arrival;
+          Alcotest.test_case "backoff" `Quick test_backoff;
+          Alcotest.test_case "registry dual" `Quick test_registry_dual;
+        ] );
+    ]

@@ -1,4 +1,4 @@
-.PHONY: all check test build chaos-smoke bench-smoke trace-smoke mc-smoke service-smoke perf-bench perf-regress clean
+.PHONY: all check test build chaos-smoke bench-smoke flat-smoke trace-smoke mc-smoke service-smoke perf-bench perf-regress clean
 
 all: build
 
@@ -14,6 +14,7 @@ check:
 	dune build && dune runtest
 	$(MAKE) trace-smoke
 	$(MAKE) mc-smoke
+	$(MAKE) flat-smoke
 	$(MAKE) service-smoke
 	$(MAKE) perf-regress
 
@@ -41,8 +42,17 @@ bench-smoke:
 	git check-ignore -q _build
 	dune exec bench/main.exe -- perf --domains 2 --exact-domains \
 	  --trials 40 --scale 0.001 --out BENCH_smoke.json
-	jq -e '.schema_version == 3 and .parallel_sweep.bit_identical == true and (.parallel_sweep.trials_per_sec > 0) and .parallel_sweep.domains_requested == 2 and .service.reproducible == true' BENCH_smoke.json >/dev/null
+	jq -e '.schema_version == 4 and .kernel == "flat" and .parallel_sweep.bit_identical == true and (.parallel_sweep.trials_per_sec > 0) and .parallel_sweep.domains_requested == 2 and .flat_vs_effect.outcomes_match == true and (.flat_vs_effect.speedup > 0) and (.scaling | length == 2) and ([.scaling[] | select(.trials_per_sec > 0 and has("minor_words_per_trial") and has("minor_collections"))] | length == 2) and .service.kernel == "flat" and .service.reproducible == true' BENCH_smoke.json >/dev/null
 	@echo "bench-smoke: BENCH_smoke.json OK"
+
+# Flat-kernel smoke: every flat-registered algorithm must be
+# bit-identical to the effect simulator over fresh seeds (outcome
+# vectors and spans), then a flat trial batch is fanned out over real
+# domains and must match the single-domain run. The CLI exits non-zero
+# on any divergence.
+flat-smoke:
+	dune exec bin/rtas_cli.exe -- flat -n 64 -k 16 --seeds 10 \
+	  --trials 32 --domains 2 --seed 9
 
 # Lock-service smoke: a Poisson run on each backend plus a chaos
 # variant, each validated with jq — the report must account for every
@@ -83,7 +93,7 @@ trace-smoke:
 # docs quote and perf-regress checks). Refresh BENCH_baseline.json from
 # it deliberately, when a PR is expected to shift performance.
 perf-bench:
-	dune exec bench/main.exe -- perf --trials 400 --out BENCH_results.json
+	dune exec bench/main.exe -- perf --trials 2000 --out BENCH_results.json
 
 # Regression gate: rerun the canonical perf sweep and compare against
 # the committed baseline (tolerances documented in the script).

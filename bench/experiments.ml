@@ -792,6 +792,60 @@ let perf_sweep ~domains ?chunk ~trials () =
   in
   { sr_elected; sr_steps; sr_workers }
 
+(* {1 The same perf workload compiled to the flat kernel}
+
+   [flat_perf_trial] is [perf_trial] re-expressed over
+   [Flatsim.Machine]: one GroupElect round ([Programs.ge_round]) and one
+   log* election ([Programs.logstar]) at the same n, k and derive
+   streams (0 GE schedule, 1 GE adversary, 2 LE schedule, 3 LE
+   adversary). Because the flat kernel is bit-identical to the effect
+   path (test_flatsim's differential suite), the two trials return the
+   same [(elected, steps)] for every seed — [sweep_results_equal] across
+   kernels is the bench's in-run integrity check, and the wall-clock
+   ratio between the two sweeps is the kernel speedup the perf gate
+   enforces. *)
+
+type flat_perf_arena = {
+  fge : Flatsim.Machine.t;
+  fle : Flatsim.Machine.t;
+}
+
+let make_flat_perf_arena () =
+  {
+    fge =
+      Flatsim.Machine.create ~procs:perf_k
+        (Flatsim.Programs.ge_round ~n:perf_n);
+    fle =
+      Flatsim.Machine.create ~procs:perf_k
+        (Flatsim.Programs.logstar ~n:perf_n);
+  }
+
+let flat_perf_trial arena ~seed =
+  let open Flatsim in
+  Machine.reset ~seed:(derive seed ~stream:0) arena.fge;
+  Machine.run_random arena.fge ~seed:(derive seed ~stream:1);
+  let elected = ref 0 in
+  let results = arena.fge.Machine.results in
+  for pid = 0 to perf_k - 1 do
+    if Array.unsafe_get results pid = 1 then incr elected
+  done;
+  Machine.reset ~seed:(derive seed ~stream:2) arena.fle;
+  Machine.run_random arena.fle ~seed:(derive seed ~stream:3);
+  (!elected, Machine.max_steps arena.fle)
+
+let flat_sweep ~domains ?chunk ~trials () =
+  let sr_elected = Array.make trials 0 in
+  let sr_steps = Array.make trials 0 in
+  let sr_workers =
+    Engine.run_into ~domains ?chunk ~trials ~seed:base_seed
+      ~local:make_flat_perf_arena
+      (fun arena ~trial ~seed ->
+        let elected, steps = flat_perf_trial arena ~seed in
+        sr_elected.(trial) <- elected;
+        sr_steps.(trial) <- steps)
+  in
+  { sr_elected; sr_steps; sr_workers }
+
 let all : (string * string * (unit -> unit)) list =
   [
     ("e1", "Lemma 2.2: GroupElect performance", run_e1);

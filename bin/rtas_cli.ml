@@ -588,6 +588,18 @@ let service_cmd =
              fixed seed). atomic: real domains racing Atomic.t CASes, one \
              tick = 1us.")
   in
+  let kernel_arg =
+    Arg.(
+      value
+      & opt (enum [ ("effect", `Effect); ("flat", `Flat) ]) `Effect
+      & info [ "kernel" ] ~docv:"effect|flat"
+          ~doc:
+            "Election-round execution kernel for the sim backend. $(b,flat) \
+             runs rounds on the preallocated flat machine (allocation-free, \
+             bit-identical report); it needs a flat-registered algorithm \
+             ($(b,rtas flat) lists them) and is incompatible with \
+             $(b,--plan).")
+  in
   let arrival_arg =
     Arg.(
       value
@@ -699,8 +711,9 @@ let service_cmd =
         Fmt.epr "rtas service: bad --backoff %S@." s;
         exit 2
   in
-  let service alg backend arrival rate clients keys zipf backoff deadline hold
-      chaos max_waiters contenders plan_str timeout domains seed out =
+  let service alg backend kernel arrival rate clients keys zipf backoff
+      deadline hold chaos max_waiters contenders plan_str timeout domains seed
+      out =
     let arrival =
       match arrival with
       | `Poisson -> Service.Arrival.Poisson { rate }
@@ -738,11 +751,15 @@ let service_cmd =
                 contenders;
                 crash_prob = chaos;
                 plan;
+                kernel;
                 seed;
               }
         | `Atomic ->
             if plan_str <> None then
               Fmt.epr "rtas service: --plan only applies to the sim backend@.";
+            if kernel <> `Effect then
+              Fmt.epr
+                "rtas service: --kernel only applies to the sim backend@.";
             Service.Mc_driver.run
               {
                 (Service.Mc_driver.default ~algorithm:alg) with
@@ -786,10 +803,109 @@ let service_cmd =
           optional holder-crash chaos. Emits a JSON report with throughput \
           and p50/p99/p999 latency.")
     Term.(
-      const service $ alg_arg $ backend_arg $ arrival_arg $ rate_arg
-      $ clients_arg $ keys_arg $ zipf_arg $ backoff_arg $ deadline_arg
-      $ hold_arg $ chaos_arg $ max_waiters_arg $ contenders_arg $ plan_arg
-      $ svc_timeout_arg $ svc_domains_arg $ seed_arg $ out_arg)
+      const service $ alg_arg $ backend_arg $ kernel_arg $ arrival_arg
+      $ rate_arg $ clients_arg $ keys_arg $ zipf_arg $ backoff_arg
+      $ deadline_arg $ hold_arg $ chaos_arg $ max_waiters_arg $ contenders_arg
+      $ plan_arg $ svc_timeout_arg $ svc_domains_arg $ seed_arg $ out_arg)
+
+(* {1 The flat-kernel smoke: effect-parity plus a real domain fan-out}
+
+   `make flat-smoke` runs this; it is the CLI face of test_flatsim's
+   differential suite — every flat-registered algorithm is run on both
+   kernels over fresh seeds and must produce identical winners, result
+   vectors and spans, then a flat trial batch is fanned out over real
+   domains and must be domain-count independent. *)
+
+let flat_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "seeds" ] ~docv:"S"
+          ~doc:"Seeds per algorithm for the flat-vs-effect parity check.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "trials" ] ~docv:"T"
+          ~doc:"Trials for the engine domain-independence check.")
+  in
+  let flat n k seeds trials seed domains =
+    let k = min k n in
+    let base = Int64.of_int seed in
+    let failures = ref 0 in
+    List.iter
+      (fun (e : Rtas.Registry.entry) ->
+        match e.Rtas.Registry.make_flat with
+        | None -> ()
+        | Some mk ->
+            let m = Flatsim.Machine.create ~procs:k (mk ~n) in
+            let mismatches = ref 0 in
+            for i = 0 to seeds - 1 do
+              let s = Sim.Rng.derive base ~stream:i in
+              (* The effect oracle and its flat compilation, on the same
+                 derived schedule/adversary streams. *)
+              let mem = Sim.Memory.create () in
+              let le = e.Rtas.Registry.make mem ~n in
+              let sched =
+                Sim.Sched.create ~seed:(Sim.Rng.derive s ~stream:0)
+                  (Leaderelect.Le.programs le ~k)
+              in
+              Sim.Sched.run sched
+                (Sim.Adversary.random_oblivious
+                   ~seed:(Sim.Rng.derive s ~stream:1));
+              Flatsim.Machine.reset ~seed:(Sim.Rng.derive s ~stream:0) m;
+              Flatsim.Machine.run_random m
+                ~seed:(Sim.Rng.derive s ~stream:1);
+              if
+                not
+                  (Flatsim.Machine.results m = Sim.Sched.results sched
+                  && Flatsim.Machine.time m = Sim.Sched.time sched)
+              then incr mismatches
+            done;
+            failures := !failures + !mismatches;
+            Fmt.pr "%-14s %d/%d seeds bit-identical to the effect path \
+                    (n=%d k=%d)@."
+              e.Rtas.Registry.name (seeds - !mismatches) seeds n k)
+      Rtas.Registry.all;
+    (* Fan a flat trial batch out over real domains: per-worker machine
+       arenas, per-trial derived seeds, outcomes must not depend on the
+       domain count. *)
+    let prog = Flatsim.Programs.logstar ~n in
+    let outcomes d =
+      Engine.run_local ~domains:d ~trials ~seed:base
+        ~local:(fun () -> Flatsim.Machine.create ~procs:k prog)
+        (fun m ~trial:_ ~seed ->
+          Flatsim.Machine.reset ~seed:(Sim.Rng.derive seed ~stream:0) m;
+          Flatsim.Machine.run_random m ~seed:(Sim.Rng.derive seed ~stream:1);
+          let w = ref (-1) in
+          for pid = 0 to k - 1 do
+            if m.Flatsim.Machine.results.(pid) = 1 then w := pid
+          done;
+          (!w, Flatsim.Machine.time m))
+    in
+    let one = outcomes 1 in
+    let many = outcomes domains in
+    let independent = one = many in
+    Fmt.pr
+      "engine: %d flat log* trials identical at --domains 1 vs %d: %b@."
+      trials domains independent;
+    if !failures > 0 || not independent then begin
+      Fmt.epr "rtas flat: kernel divergence detected@.";
+      exit 1
+    end;
+    Fmt.pr "flat: OK (%s)@."
+      (String.concat ", " (Rtas.Registry.flat_names ()))
+  in
+  Cmd.v
+    (Cmd.info "flat"
+       ~doc:
+         "Check the flat kernel against the effect simulator: every \
+          flat-registered algorithm must be bit-identical on both kernels \
+          over fresh seeds, and a flat trial batch fanned out over real \
+          domains must be domain-count independent.")
+    Term.(
+      const flat $ n_arg $ k_arg $ seeds_arg $ trials_arg $ seed_arg
+      $ domains_arg)
 
 let main =
   Cmd.group
@@ -806,6 +922,7 @@ let main =
       profile_cmd;
       mc_cmd;
       service_cmd;
+      flat_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -2,6 +2,7 @@ type entry = {
   name : string;
   make : Sim.Memory.t -> n:int -> Leaderelect.Le.t;
   make_mc : (n:int -> Multicore.Mc_le.t) option;
+  make_flat : (n:int -> Flatsim.Machine.program) option;
   adversary : Sim.Sched.klass;
   steps : string;
   space : string;
@@ -14,6 +15,7 @@ let all =
       name = "log*";
       make = Leaderelect.Le_logstar.make;
       make_mc = None;
+      make_flat = Some (fun ~n -> Flatsim.Programs.logstar ~n);
       adversary = Sim.Sched.Location_oblivious;
       steps = "O(log* k)";
       space = "O(n)";
@@ -23,6 +25,7 @@ let all =
       name = "loglog";
       make = Leaderelect.Le_loglog.make;
       make_mc = None;
+      make_flat = None;
       adversary = Sim.Sched.Rw_oblivious;
       steps = "O(log log k)";
       space = "O(n)";
@@ -32,6 +35,7 @@ let all =
       name = "aa";
       make = Leaderelect.Aa.make;
       make_mc = None;
+      make_flat = None;
       adversary = Sim.Sched.Rw_oblivious;
       steps = "O(log log n)";
       space = "O(n) (orig. O(n^3))";
@@ -41,6 +45,7 @@ let all =
       name = "ratrace";
       make = Leaderelect.Rr_le.make_original;
       make_mc = None;
+      make_flat = None;
       adversary = Sim.Sched.Adaptive;
       steps = "O(log k)";
       space = "Theta(n^3)";
@@ -50,6 +55,7 @@ let all =
       name = "ratrace-lean";
       make = Leaderelect.Rr_le.make_lean;
       make_mc = Some (fun ~n -> Multicore.Mc_rr_lean.le ~n);
+      make_flat = None;
       adversary = Sim.Sched.Adaptive;
       steps = "O(log k)";
       space = "Theta(n)";
@@ -59,6 +65,7 @@ let all =
       name = "tournament";
       make = Leaderelect.Tournament.make;
       make_mc = Some (fun ~n -> Multicore.Mc_tournament.le ~n);
+      make_flat = Some (fun ~n -> Flatsim.Programs.tournament ~n);
       adversary = Sim.Sched.Adaptive;
       steps = "O(log n)";
       space = "Theta(n)";
@@ -68,6 +75,7 @@ let all =
       name = "combined-log*";
       make = Combined.Combine.make_logstar;
       make_mc = None;
+      make_flat = None;
       adversary = Sim.Sched.Location_oblivious;
       steps = "O(log* k) / O(log k) adaptive";
       space = "Theta(n)";
@@ -77,6 +85,7 @@ let all =
       name = "combined-loglog";
       make = Combined.Combine.make_loglog;
       make_mc = None;
+      make_flat = None;
       adversary = Sim.Sched.Rw_oblivious;
       steps = "O(log log k) / O(log k) adaptive";
       space = "Theta(n)";
@@ -86,6 +95,7 @@ let all =
       name = "sift";
       make = Leaderelect.Sift_le.make;
       make_mc = Some (fun ~n -> Multicore.Mc_sift.le ~n);
+      make_flat = Some (fun ~n -> Flatsim.Programs.sift ~n);
       adversary = Sim.Sched.Rw_oblivious;
       steps = "O(log log n + log n)";
       space = "Theta(n)";
@@ -95,6 +105,7 @@ let all =
       name = "elim";
       make = Leaderelect.Elim_le.make;
       make_mc = Some (fun ~n -> Multicore.Mc_elim.le ~n);
+      make_flat = None;
       adversary = Sim.Sched.Adaptive;
       steps = "O(k) worst, O(1) typical";
       space = "Theta(n)";
@@ -109,3 +120,7 @@ let names () = List.map (fun e -> e.name) all
 let dual () = List.filter (fun e -> Option.is_some e.make_mc) all
 
 let dual_names () = List.map (fun e -> e.name) (dual ())
+
+let flat () = List.filter (fun e -> Option.is_some e.make_flat) all
+
+let flat_names () = List.map (fun e -> e.name) (flat ())

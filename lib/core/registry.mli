@@ -16,6 +16,13 @@ type entry = {
       (** Multicore backend of the same functor, when the algorithm does
           not need simulator-only machinery (adversary hooks, crash
           injection) to run. *)
+  make_flat : (n:int -> Flatsim.Machine.program) option;
+      (** Flat-kernel compilation of the same algorithm
+          ({!Flatsim.Programs}), when one exists. Bit-identical to
+          [make] under matching seeds and schedules (pinned by the
+          flat-vs-effect differential test); the hot-election set the
+          bench, the perf gate and the service driver's [--kernel flat]
+          path run on. *)
   adversary : Sim.Sched.klass;
       (** Strongest adversary class against which the step bound holds. *)
   steps : string;  (** Expected step complexity, as stated in the paper. *)
@@ -35,3 +42,10 @@ val dual : unit -> entry list
     service's [atomic] backend can iterate. *)
 
 val dual_names : unit -> string list
+
+val flat : unit -> entry list
+(** The entries carrying a flat-kernel compilation ([make_flat]
+    present) — the ones the flat differential test, the bench scaling
+    sweep and [rtas service --kernel flat] can iterate. *)
+
+val flat_names : unit -> string list

@@ -1,0 +1,25 @@
+(** Allocation-free splitmix64, draw-for-draw identical to {!Sim.Rng}.
+
+    The flat kernel's only randomness source. State is an immutable
+    Int64 base plus a native-int counter, so drawing never stores an
+    Int64 and therefore never allocates; see frng.ml for why this is
+    bit-identical to the boxed {!Sim.Rng}. *)
+
+type t
+
+val create : int64 -> t
+
+val reseed : t -> int64 -> unit
+(** In-place reset to [create seed]'s state, matching
+    {!Sim.Rng.reseed}'s fresh-generator guarantee. *)
+
+val next_int : t -> int
+(** Low 63 bits of the next raw splitmix64 output — the exact value
+    [Sim.Rng.int] reduces with [mod]. *)
+
+val int : t -> int -> int
+(** [int t bound] equals [Sim.Rng.int] on the same stream. The bound
+    must be positive (unchecked: kernel-internal hot path). *)
+
+val geometric_capped : t -> int -> int
+(** Equals [Sim.Rng.geometric_capped] on the same stream. *)

@@ -1,0 +1,357 @@
+(* The flat execution kernel: step-indexed state machines over an
+   int-array register file and int-array local frames.
+
+   Where the effect-handler simulator ({!Sim.Sched}) suspends a real
+   OCaml computation at every shared-memory operation — an effect
+   perform, a captured continuation and an adversary closure per step —
+   the flat kernel represents a process as nothing but integers: a
+   frame of locals inside one shared [frames] array with a program
+   counter stored in that frame. A step calls the program's [p_resume],
+   which {e executes the process's pending shared-memory operation}
+   against [regs] (the frame's pc encodes which operation is pending
+   and on which register) and then runs the process's local code
+   (branches, coin flips) up to its next operation — leaving the new
+   pc in the frame — or retires it with [finish]. Fusing the operation
+   into the resume this way keeps the op executing exactly at its
+   scheduled step (same memory semantics as a pending-op queue) while
+   touching no per-process op buffers. Nothing on this path allocates:
+   arenas are created once and [reset] restores them field-by-field,
+   so a trial batch reuses one machine for millions of runs
+   (DESIGN.md §13).
+
+   Determinism contract: a flat run is {e bit-identical} to the
+   effect-handler simulator running the same algorithm — same winner,
+   same per-process results, same flip stream — provided the schedules
+   match. Three scheduling loops replicate the corresponding
+   {!Sim.Adversary} decision procedures exactly ([run_rr],
+   [run_random], [run_seq]); pinned by test_flatsim's 120-seed
+   differential suite. The effect path stays authoritative for
+   everything else (adversary classes, crash schedules, Explore,
+   Lincheck, Probe): the flat kernel trades generality for the trial
+   throughput that multi-domain batches need. *)
+
+type t = {
+  prog : program;
+  capacity : int;  (* processes the arrays are sized for *)
+  frame_words : int;  (* copy of [prog.p_frame], hot-path local *)
+  regs : int array;  (* shared register file, all registers initially 0 *)
+  stamp : int array;  (* per register: [epoch] of its last write *)
+  dirty : int array;  (* registers written this epoch, each once *)
+  mutable n_dirty : int;
+  mutable epoch : int;
+  frames : int array;  (* capacity * frame_words process locals *)
+  rng : Frng.t;  (* shared flip stream, exactly as Sched's [t.rng] *)
+  status : int array;  (* 0 running / 1 finished *)
+  results : int array;
+  steps : int array;
+  flips : int array;
+  mutable time : int;
+  mutable active : int;  (* processes participating in this run *)
+  mutable n_running : int;
+  run_arr : int array;  (* [base, base + n_running): running pids, ascending *)
+  mutable base : int;  (* start of the live window in [run_arr] *)
+  pos : int array;  (* index of each running pid in run_arr *)
+  mutable record_flips : bool;
+  mutable flip_log : (int * int * int * int) list;
+      (* (time, pid, bound, outcome), reversed; bound < 0 encodes a
+         geometric draw with cap [-bound], mirroring Op.Flip. *)
+}
+
+and program = {
+  p_name : string;
+  p_regs : int;  (* register-file size for [n] slots *)
+  p_frame : int;  (* locals per process *)
+  p_start : t -> int -> unit;
+      (* Run a process from its entry point up to (but not through)
+         its first shared-memory operation, flipping coins on the
+         way — the flat image of [Sched.create] running a program to
+         its first effect. Leaves the frame pc naming that operation. *)
+  p_resume : t -> int -> unit;
+      (* Execute the pending operation the frame pc names, then run
+         local code to the next operation (updating the pc) or call
+         [finish]. One call = one scheduled step. *)
+  p_start_all : (t -> int -> unit) option;
+      (* [f m procs]: same observable effect as [p_start m pid] for
+         every pid in [0, procs) in order, as one batch — programs
+         whose entry is a plain frame fill supply a tight loop here so
+         [reset] pays one indirect call instead of one per process.
+         [None] falls back to the per-pid loop. *)
+}
+
+(* {1 Operations available to compiled programs}
+
+   Hot-path array accesses are unchecked ([Array.unsafe_get/set]): the
+   scheduling loops only pass pids drawn from [run_arr] (all in
+   [0, active)), and register/frame indices come from the compiled
+   programs, whose layouts are sized by [p_regs]/[p_frame] at [create]
+   and pinned by test_flatsim's differential suite. *)
+
+(* All register writes funnel through here so [reset] can clear just
+   the registers a trial touched (a log* machine for n = 512 has ~2.2k
+   registers; a 64-process trial dirties a few dozen). [stamp]/[epoch]
+   dedupe the log, bounding it by the register count. *)
+let[@inline] write_reg m r v =
+  Array.unsafe_set m.regs r v;
+  let e = m.epoch in
+  if Array.unsafe_get m.stamp r <> e then begin
+    Array.unsafe_set m.stamp r e;
+    Array.unsafe_set m.dirty m.n_dirty r;
+    m.n_dirty <- m.n_dirty + 1
+  end
+
+let[@inline] flip m pid bound =
+  let v = Frng.int m.rng bound in
+  Array.unsafe_set m.flips pid (Array.unsafe_get m.flips pid + 1);
+  if m.record_flips then
+    m.flip_log <- (m.time, pid, bound, v) :: m.flip_log;
+  v
+
+let[@inline] flip_geom m pid l =
+  let v = Frng.geometric_capped m.rng l in
+  Array.unsafe_set m.flips pid (Array.unsafe_get m.flips pid + 1);
+  if m.record_flips then m.flip_log <- (m.time, pid, -l, v) :: m.flip_log;
+  v
+
+let finish m pid result =
+  m.status.(pid) <- 1;
+  m.results.(pid) <- result;
+  (* Drop [pid] from the running set, keeping it ascending so the
+     runnable view any scheduling loop sees matches the effect
+     scheduler's recomputed [runnable] array index-for-index. [pos]
+     makes the find O(1); whichever side of the hole is shorter gets
+     shifted, with the live window floating upward in [run_arr] (sized
+     2 * capacity) via [base]. (Measured alternatives for this
+     structure: an O(1)-finish rank/select bitmap loses — even with a
+     branch-free SWAR select, the extra ~15ns lands on the serial
+     draw->resume critical path, while the shift is throughput work
+     the core hides; splitting the fused loop into a pos pass and a
+     move pass also measures slower than this form.) *)
+  let run_arr = m.run_arr and pos = m.pos in
+  let i = Array.unsafe_get pos pid in
+  let base = m.base in
+  let hi = base + m.n_running - 1 in
+  if i - base < hi - i then begin
+    for j = i - 1 downto base do
+      let p = Array.unsafe_get run_arr j in
+      Array.unsafe_set run_arr (j + 1) p;
+      Array.unsafe_set pos p (j + 1)
+    done;
+    m.base <- base + 1
+  end
+  else
+    for j = i to hi - 1 do
+      let p = Array.unsafe_get run_arr (j + 1) in
+      Array.unsafe_set run_arr j p;
+      Array.unsafe_set pos p j
+    done;
+  m.n_running <- m.n_running - 1
+
+(* {1 Construction and arena reuse} *)
+
+let default_seed = 0x5EEDL (* Sched.create's default *)
+
+let reset ?(seed = default_seed) ?procs m =
+  let procs =
+    match procs with
+    | None -> m.capacity
+    | Some k ->
+        if k < 1 || k > m.capacity then
+          invalid_arg "Machine.reset: procs out of range";
+        k
+  in
+  Frng.reseed m.rng seed;
+  m.time <- 0;
+  m.active <- procs;
+  m.n_running <- procs;
+  m.base <- 0;
+  (let run_arr = m.run_arr and pos = m.pos in
+   for pid = 0 to procs - 1 do
+     Array.unsafe_set run_arr pid pid;
+     Array.unsafe_set pos pid pid
+   done);
+  (* Clear only the registers the last trial wrote (see [write_reg]). *)
+  (let regs = m.regs and dirty = m.dirty in
+   for i = 0 to m.n_dirty - 1 do
+     Array.unsafe_set regs (Array.unsafe_get dirty i) 0
+   done);
+  m.n_dirty <- 0;
+  m.epoch <- m.epoch + 1;
+  (* [frames] is deliberately not cleared: a program's [p_start] (and
+     every later sub-machine start) initializes each frame slot before
+     any path reads it — part of the compilation contract, exercised
+     by test_flatsim's reset-equals-fresh and differential tests. *)
+  Array.fill m.status 0 procs 0;
+  Array.fill m.results 0 procs 0;
+  Array.fill m.steps 0 procs 0;
+  Array.fill m.flips 0 procs 0;
+  m.flip_log <- [];
+  (* Run every program to its first operation, in pid order — flips
+     fired before the first operation draw here, exactly as
+     [Sched.create] does. *)
+  match m.prog.p_start_all with
+  | Some f -> f m procs
+  | None ->
+      for pid = 0 to procs - 1 do
+        m.prog.p_start m pid
+      done
+
+let create ?(seed = default_seed) ?(record_flips = false) ~procs prog =
+  if procs < 1 then invalid_arg "Machine.create: procs must be >= 1";
+  let m =
+    {
+      prog;
+      capacity = procs;
+      frame_words = prog.p_frame;
+      regs = Array.make (max 1 prog.p_regs) 0;
+      stamp = Array.make (max 1 prog.p_regs) 0;
+      dirty = Array.make (max 1 prog.p_regs) 0;
+      n_dirty = 0;
+      epoch = 1;
+      frames = Array.make (procs * max 1 prog.p_frame) 0;
+      rng = Frng.create seed;
+      status = Array.make procs 0;
+      results = Array.make procs 0;
+      steps = Array.make procs 0;
+      flips = Array.make procs 0;
+      time = 0;
+      active = procs;
+      n_running = procs;
+      run_arr = Array.make (2 * procs) 0;
+      base = 0;
+      pos = Array.make procs 0;
+      record_flips;
+      flip_log = [];
+    }
+  in
+  reset ~seed m;
+  m
+
+(* {1 Stepping} *)
+
+(* Execute [pid]'s pending operation and run it to its next one. The
+   caller guarantees [pid] is running (the scheduling loops below only
+   draw from [run_arr]); there is deliberately no status check on this
+   path. *)
+let step m pid =
+  m.time <- m.time + 1;
+  Array.unsafe_set m.steps pid (Array.unsafe_get m.steps pid + 1);
+  m.prog.p_resume m pid
+
+let default_max_steps = 10_000_000 (* Sched.run's default *)
+
+let overrun m max_total_steps who =
+  (* Same shape (and catchability) as Sched.run's livelock failure. *)
+  ignore m;
+  failwith
+    (Printf.sprintf "Machine.run: exceeded %d steps under adversary %s"
+       max_total_steps who)
+
+(* Replicates {!Sim.Adversary.round_robin}: a cursor advances past each
+   scheduled pid; the next decision picks the first runnable pid at or
+   after it, cyclically. *)
+let run_rr ?(max_total_steps = default_max_steps) m =
+  let resume = m.prog.p_resume in
+  let steps = m.steps in
+  let counter = ref 0 in
+  while m.n_running > 0 do
+    if m.time >= max_total_steps then overrun m max_total_steps "round-robin";
+    let base = m.base in
+    let hi = base + m.n_running in
+    let run_arr = m.run_arr in
+    let rec find i =
+      if i >= hi then Array.unsafe_get run_arr base
+      else
+        let p = Array.unsafe_get run_arr i in
+        if p >= !counter then p else find (i + 1)
+    in
+    let pid = find base in
+    counter := pid + 1;
+    m.time <- m.time + 1;
+    Array.unsafe_set steps pid (Array.unsafe_get steps pid + 1);
+    resume m pid
+  done
+
+(* Replicates {!Sim.Adversary.random_oblivious}: one [Rng.int] draw per
+   decision, indexing the ascending runnable array. [Frng] keeps the
+   draw stream identical to the effect path's [Sim.Rng]. *)
+let run_random ?(max_total_steps = default_max_steps) m ~seed =
+  let resume = m.prog.p_resume in
+  let steps = m.steps in
+  let run_arr = m.run_arr in
+  (* The adversary stream is Frng hand-inlined (constants as in
+     frng.ml): recomputing [seed + i * golden] per draw inside one
+     local function keeps every Int64 unboxed and skips the record
+     traffic of a heap generator. Draw i here = Frng draw i = Sim.Rng
+     draw i from [seed].
+
+     Software-pipelined: each iteration carries the already-mixed
+     value [v] for the current draw and mixes draw i+1 before calling
+     [resume], so the 3-multiply mix latency overlaps the resume body
+     instead of extending the draw -> index -> resume serial chain
+     ([v] is an immediate int, so threading it allocates nothing). *)
+  let[@inline] mixed i =
+    let s = Int64.add seed (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int i)) in
+    let z =
+      Int64.mul
+        (Int64.logxor s (Int64.shift_right_logical s 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_int (Int64.logand z 0x3FFFFFFFFFFFFFFFL)
+  in
+  let rec go i v =
+    if m.n_running > 0 then begin
+      if m.time >= max_total_steps then
+        overrun m max_total_steps "random-oblivious";
+      let v' = mixed (i + 1) in
+      let pid = Array.unsafe_get run_arr (m.base + (v mod m.n_running)) in
+      m.time <- m.time + 1;
+      Array.unsafe_set steps pid (Array.unsafe_get steps pid + 1);
+      resume m pid;
+      go (i + 1) v'
+    end
+  in
+  go 1 (mixed 1)
+
+(* Run-to-completion in [order] — the differential-test schedule (the
+   flat image of test_multicore's seq_order adversary). *)
+let run_seq ?(max_total_steps = default_max_steps) m ~order =
+  Array.iter
+    (fun pid ->
+      while m.status.(pid) = 0 do
+        if m.time >= max_total_steps then overrun m max_total_steps "seq-order";
+        step m pid
+      done)
+    order
+
+(* {1 Observation} *)
+
+let procs m = m.active
+let time m = m.time
+let running m pid = m.status.(pid) = 0
+let result m pid = if m.status.(pid) = 1 then Some m.results.(pid) else None
+
+let results m = Array.init m.active (fun pid -> result m pid)
+
+let steps m pid = m.steps.(pid)
+let flips m pid = m.flips.(pid)
+
+let max_steps m =
+  let steps = m.steps in
+  let acc = ref 0 in
+  for pid = 0 to m.active - 1 do
+    let s = Array.unsafe_get steps pid in
+    if s > !acc then acc := s
+  done;
+  !acc
+
+let set_record_flips m b =
+  m.record_flips <- b;
+  if not b then m.flip_log <- []
+
+let flip_log m = List.rev m.flip_log

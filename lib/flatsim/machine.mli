@@ -1,0 +1,129 @@
+(** The flat execution kernel: preallocated step-indexed state machines.
+
+    A {!program} is an election hand-compiled to explicit state: shared
+    registers live in one int array, every process's locals in a fixed
+    slice of another, and the "current continuation" is nothing but a
+    program counter stored in the frame, encoding which shared-memory
+    operation is pending. Stepping a process calls its [p_resume],
+    which executes that pending read/write against the register file
+    and runs the compiled code to the next operation — no effect,
+    closure or continuation is allocated anywhere on the path, and
+    {!reset} restores a machine in place so one arena serves millions
+    of trials.
+
+    Runs are bit-identical to the effect-handler simulator
+    ({!Sim.Sched}) on the same algorithm, seed and schedule: same
+    winner, same per-process results, same flip stream (pinned by
+    test_flatsim's differential suite). The effect path remains the
+    oracle for adversary classes, crashes, Explore, Lincheck and Probe;
+    this kernel exists for trial throughput (DESIGN.md §13). *)
+
+type t = {
+  prog : program;
+  capacity : int;
+  frame_words : int;
+  regs : int array;  (** shared register file *)
+  stamp : int array;  (** per register: epoch of its last write *)
+  dirty : int array;  (** registers written this epoch *)
+  mutable n_dirty : int;
+  mutable epoch : int;
+  frames : int array;  (** [capacity * frame_words] process locals *)
+  rng : Frng.t;  (** shared flip stream (the image of Sched's rng) *)
+  status : int array;  (** 0 running / 1 finished *)
+  results : int array;
+  steps : int array;
+  flips : int array;
+  mutable time : int;
+  mutable active : int;
+  mutable n_running : int;
+  run_arr : int array;  (** [base, base + n_running): running pids, ascending *)
+  mutable base : int;
+  pos : int array;  (** index of each running pid in [run_arr] *)
+  mutable record_flips : bool;
+  mutable flip_log : (int * int * int * int) list;
+}
+
+and program = {
+  p_name : string;
+  p_regs : int;
+  p_frame : int;
+  p_start : t -> int -> unit;
+  p_resume : t -> int -> unit;
+  p_start_all : (t -> int -> unit) option;
+      (** [f m procs]: batch [p_start] over pids [0, procs) in order
+          (one indirect call per reset instead of one per process);
+          [None] falls back to the per-pid loop. *)
+}
+
+(** {1 Operations for compiled programs}
+
+    Reads and writes have no install API: a program's [p_resume]
+    executes its pending operation directly against [regs] (the frame
+    pc names it), which keeps the operation at its scheduled step while
+    touching no per-process op buffers. *)
+
+val write_reg : t -> int -> int -> unit
+(** [write_reg m r v]: the register-write primitive. Also logs [r] as
+    dirty so {!reset} clears only the registers a trial touched. Reads
+    go straight to [m.regs]. *)
+
+val flip : t -> int -> int -> int
+(** [flip m pid bound]: inline fair draw in [0, bound), logged like
+    [Ctx.flip]. Flips are not scheduling points, exactly as in the
+    effect path. *)
+
+val flip_geom : t -> int -> int -> int
+(** [flip_geom m pid l]: geometric draw capped at [l], logged with
+    bound [-l] like [Ctx.flip_geometric]. *)
+
+val finish : t -> int -> int -> unit
+(** [finish m pid result] retires the process. *)
+
+(** {1 Construction and arena reuse} *)
+
+val create : ?seed:int64 -> ?record_flips:bool -> procs:int -> program -> t
+(** Allocates the arenas and runs every process to its first operation
+    (flipping on the way), in pid order — the flat [Sched.create]. *)
+
+val reset : ?seed:int64 -> ?procs:int -> t -> unit
+(** Restore to the state [create] would produce, allocating nothing.
+    [?procs] may shrink the run below capacity (the service driver's
+    per-round contender count); defaults to full capacity. *)
+
+(** {1 Stepping and schedules} *)
+
+val step : t -> int -> unit
+(** One scheduled step of [pid]: bump time and its step count, then
+    [p_resume] (which performs the pending operation). [pid] must be
+    running. *)
+
+val default_max_steps : int
+
+val run_rr : ?max_total_steps:int -> t -> unit
+(** Round-robin schedule, decision-identical to
+    {!Sim.Adversary.round_robin}. *)
+
+val run_random : ?max_total_steps:int -> t -> seed:int64 -> unit
+(** Uniform schedule, draw-identical to
+    {!Sim.Adversary.random_oblivious} with the same seed. *)
+
+val run_seq : ?max_total_steps:int -> t -> order:int array -> unit
+(** Run each process of [order] to completion in turn (the
+    differential-test schedule). *)
+
+(** {1 Observation (mirrors Sched)} *)
+
+val procs : t -> int
+val time : t -> int
+val running : t -> int -> bool
+val result : t -> int -> int option
+val results : t -> int option array
+val steps : t -> int -> int
+val flips : t -> int -> int
+val max_steps : t -> int
+
+val set_record_flips : t -> bool -> unit
+
+val flip_log : t -> (int * int * int * int) list
+(** [(time, pid, bound, outcome)] in draw order; bound < 0 encodes a
+    geometric draw capped at [-bound], matching [Op.Flip] events. *)

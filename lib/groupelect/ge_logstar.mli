@@ -11,6 +11,10 @@
     (the adversary cannot aim at the written cell because it does not
     learn [x] before the write lands). *)
 
+val level : int -> int
+(** [level n] is the geometric cap [l = max 1 (ceil (log2 n))]. Exposed
+    so alternative kernels can reproduce the draw bit-for-bit. *)
+
 module Make (M : Backend.Mem.S) : sig
   val create : ?name:string -> M.mem -> n:int -> M.ctx Ge.gen
 end

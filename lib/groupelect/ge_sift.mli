@@ -11,6 +11,12 @@
     [write_prob * k + 1/write_prob]; choosing [write_prob = 1/sqrt k]
     gives [f(k) ~ 2 sqrt k]. *)
 
+val resolution : int
+(** Fixed-point denominator of [write_prob]: a round flips in
+    [0, resolution) and writes iff the draw lands below
+    [write_prob * resolution] (rounded down, floored at 1). Exposed so
+    alternative kernels can reproduce the draw bit-for-bit. *)
+
 module Make (M : Backend.Mem.S) : sig
   val create : ?name:string -> M.mem -> write_prob:float -> M.ctx Ge.gen
 end

@@ -13,6 +13,7 @@ type config = {
   plan : Fault.Plan.t option;
   adversary : [ `Random | `Round_robin ];
   max_round_steps : int;
+  kernel : [ `Effect | `Flat ];
   seed : int64;
 }
 
@@ -32,6 +33,7 @@ let default ~algorithm =
     plan = None;
     adversary = `Random;
     max_round_steps = 1_000_000;
+    kernel = `Effect;
     seed = 1L;
   }
 
@@ -136,6 +138,14 @@ type ev =
   | Release of { key : int; round : int; owner : int }
   | Expire of { key : int; round : int }
 
+(* A key's reusable election arena, one per configured kernel. Both
+   carry the same algorithm; [Flat] is its registry [make_flat]
+   compilation, bit-identical to [Eff] under the driver's derived seeds
+   and adversaries, so the final report does not depend on the kernel. *)
+type inst =
+  | Eff of Leaderelect.Le.t
+  | Flat of Flatsim.Machine.t
+
 let run ?metrics cfg =
   validate cfg;
   let entry =
@@ -146,6 +156,24 @@ let run ?metrics cfg =
           (Printf.sprintf "Driver: unknown algorithm %S (expected one of: %s)"
              cfg.algorithm
              (String.concat ", " (Rtas.Registry.names ())))
+  in
+  let flat_prog =
+    match cfg.kernel with
+    | `Effect -> None
+    | `Flat ->
+        if cfg.plan <> None then
+          invalid_arg
+            "Driver: fault plans hook the effect scheduler; use kernel = \
+             `Effect with plan";
+        (match entry.Rtas.Registry.make_flat with
+        | Some mk -> Some (mk ~n:cfg.contenders)
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Driver: algorithm %S has no flat-kernel compilation \
+                  (flat entries: %s)"
+                 cfg.algorithm
+                 (String.concat ", " (Rtas.Registry.flat_names ()))))
   in
   let seed = cfg.seed in
   (* Dedicated derive streams, in the repo-wide convention: 10 arrival,
@@ -161,19 +189,31 @@ let run ?metrics cfg =
   let arenas : (int, Sim.Memory.t * Leaderelect.Le.t) Hashtbl.t =
     Hashtbl.create 64
   in
+  let flat_arenas : (int, Flatsim.Machine.t) Hashtbl.t = Hashtbl.create 64 in
   let module E = struct
-    type instance = Leaderelect.Le.t
+    type instance = inst
 
     let fresh ~key ~round:_ =
-      match Hashtbl.find_opt arenas key with
-      | Some (mem, le) ->
-          Sim.Memory.reset mem;
-          le
-      | None ->
-          let mem = Sim.Memory.create () in
-          let le = entry.Rtas.Registry.make mem ~n:cfg.contenders in
-          Hashtbl.add arenas key (mem, le);
-          le
+      match flat_prog with
+      | Some prog -> (
+          (* The flat machine resets per round (it needs the round seed
+             and contender count), so [fresh] only finds-or-builds. *)
+          match Hashtbl.find_opt flat_arenas key with
+          | Some m -> Flat m
+          | None ->
+              let m = Flatsim.Machine.create ~procs:cfg.contenders prog in
+              Hashtbl.add flat_arenas key m;
+              Flat m)
+      | None -> (
+          match Hashtbl.find_opt arenas key with
+          | Some (mem, le) ->
+              Sim.Memory.reset mem;
+              Eff le
+          | None ->
+              let mem = Sim.Memory.create () in
+              let le = entry.Rtas.Registry.make mem ~n:cfg.contenders in
+              Hashtbl.add arenas key (mem, le);
+              Eff le)
   end in
   let module R = Resettable.Make (E) in
   let keys =
@@ -281,22 +321,60 @@ let run ?metrics cfg =
       contenders;
     let nc = Array.length contenders in
     let sseed = Sim.Rng.derive round_base ~stream:!rounds in
-    let adv = base_adversary sseed in
-    let adv =
-      match cfg.plan with
-      | None -> adv
-      | Some plan ->
-          Fault.Plan.apply ~seed:(Sim.Rng.derive sseed ~stream:2) plan adv
+    (* Run the round on the configured kernel. Both paths use the same
+       derived seeds and decision procedures, so [status] and
+       [duration] are bit-identical between them (pinned by
+       test_flatsim's driver-equality test). *)
+    let duration, status =
+      match inst with
+      | Flat m ->
+          Flatsim.Machine.reset ~seed:sseed ~procs:nc m;
+          (match
+             match cfg.adversary with
+             | `Round_robin ->
+                 Flatsim.Machine.run_rr ~max_total_steps:cfg.max_round_steps m
+             | `Random ->
+                 Flatsim.Machine.run_random
+                   ~max_total_steps:cfg.max_round_steps m
+                   ~seed:(Sim.Rng.derive sseed ~stream:1)
+           with
+          | () -> ()
+          | exception Failure _ -> (* livelock cut-off *) ());
+          let duration =
+            Float.max 1.0 (float_of_int (Flatsim.Machine.time m))
+          in
+          let status pid =
+            if Flatsim.Machine.running m pid then `Gone
+            else if m.Flatsim.Machine.results.(pid) = 1 then `Won
+            else `Lost
+          in
+          (duration, status)
+      | Eff inst ->
+          let adv = base_adversary sseed in
+          let adv =
+            match cfg.plan with
+            | None -> adv
+            | Some plan ->
+                Fault.Plan.apply ~seed:(Sim.Rng.derive sseed ~stream:2) plan
+                  adv
+          in
+          let sched =
+            Sim.Sched.create ~seed:sseed (Leaderelect.Le.programs inst ~k:nc)
+          in
+          (match
+             Sim.Sched.run ~max_total_steps:cfg.max_round_steps sched adv
+           with
+          | () -> ()
+          | exception Failure _ -> (* livelock cut-off *) ());
+          let duration = Float.max 1.0 (float_of_int (Sim.Sched.time sched)) in
+          let status pid =
+            match Sim.Sched.status sched pid with
+            | Sim.Sched.Finished 1 -> `Won
+            | Sim.Sched.Finished _ -> `Lost
+            | Sim.Sched.Running | Sim.Sched.Crashed -> `Gone
+          in
+          (duration, status)
     in
-    let sched =
-      Sim.Sched.create ~seed:sseed (Leaderelect.Le.programs inst ~k:nc)
-    in
-    let livelocked =
-      match Sim.Sched.run ~max_total_steps:cfg.max_round_steps sched adv with
-      | () -> false
-      | exception Failure _ -> true
-    in
-    let duration = Float.max 1.0 (float_of_int (Sim.Sched.time sched)) in
     let t_end = now +. duration in
     (* One chaos draw per round keeps the stream aligned whatever the
        round's outcome. *)
@@ -304,13 +382,12 @@ let run ?metrics cfg =
     let winner = ref None in
     Array.iteri
       (fun pid c ->
-        match Sim.Sched.status sched pid with
-        | Sim.Sched.Finished 1 -> winner := Some c
-        | Sim.Sched.Finished _ -> ()
-        | Sim.Sched.Running | Sim.Sched.Crashed ->
+        match status pid with
+        | `Won -> winner := Some c
+        | `Lost -> ()
+        | `Gone ->
             (* Crashed mid-election by the fault plan (or cut off by a
                livelock bound): the client is gone. *)
-            ignore livelocked;
             resolve c;
             incr crashed_clients)
       contenders;
@@ -342,8 +419,8 @@ let run ?metrics cfg =
        happens when the retry fires. *)
     Array.iteri
       (fun pid c ->
-        match Sim.Sched.status sched pid with
-        | Sim.Sched.Finished 0 when not c.c_done ->
+        match status pid with
+        | `Lost when not c.c_done ->
             let d =
               Backoff.delay cfg.backoff ~seed ~client:c.c_id
                 ~attempt:c.c_attempts

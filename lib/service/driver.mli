@@ -43,6 +43,15 @@ type config = {
   plan : Fault.Plan.t option;  (** Mid-election crash/delay storms. *)
   adversary : [ `Random | `Round_robin ];  (** Intra-round scheduler. *)
   max_round_steps : int;  (** Livelock bound on a single round. *)
+  kernel : [ `Effect | `Flat ];
+      (** Execution kernel for election rounds. [`Flat] runs every round
+          on the algorithm's preallocated {!Flatsim.Machine} (the
+          registry's [make_flat] compilation): the report is
+          bit-identical to [`Effect] — same derived seeds, same
+          adversary decisions, same winners and round spans — but a
+          round allocates nothing. Requires a flat-registered algorithm
+          and is incompatible with [plan] (fault plans hook the effect
+          scheduler); {!run} raises [Invalid_argument] otherwise. *)
   seed : int64;
 }
 

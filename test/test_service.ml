@@ -188,6 +188,34 @@ let test_driver_deterministic () =
   in
   checkb "different seed, different JSON" true (j () <> other)
 
+(* The flat kernel must be report-invisible: same derived seeds, same
+   adversary decisions, same winners and round spans, so the JSON is
+   byte-identical. Chaos included — the holder-crash draws live outside
+   the election kernel and must not shift either. *)
+let test_driver_flat_matches_effect () =
+  List.iter
+    (fun chaos ->
+      let cfg = small_cfg ~chaos () in
+      let eff = Service.Report.to_json (Service.Driver.run cfg) in
+      let flat =
+        Service.Report.to_json
+          (Service.Driver.run { cfg with Service.Driver.kernel = `Flat })
+      in
+      Alcotest.(check string) "flat report = effect report" eff flat)
+    [ 0.0; 0.4 ]
+
+let test_driver_flat_rejects_plan () =
+  let cfg =
+    {
+      (small_cfg ()) with
+      Service.Driver.kernel = `Flat;
+      plan = Some [ Fault.Plan.storm 0.02 ];
+    }
+  in
+  match Service.Driver.run cfg with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "flat kernel with a fault plan must be rejected"
+
 let test_driver_accounts_every_client () =
   List.iter
     (fun chaos ->
@@ -363,6 +391,10 @@ let () =
         [
           Alcotest.test_case "bit-deterministic" `Quick
             test_driver_deterministic;
+          Alcotest.test_case "flat kernel = effect kernel" `Quick
+            test_driver_flat_matches_effect;
+          Alcotest.test_case "flat kernel rejects fault plans" `Quick
+            test_driver_flat_rejects_plan;
           Alcotest.test_case "every client accounted" `Quick
             test_driver_accounts_every_client;
           Alcotest.test_case "chaos recovers wedged keys" `Quick

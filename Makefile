@@ -1,4 +1,4 @@
-.PHONY: all check test build chaos-smoke bench-smoke flat-smoke trace-smoke mc-smoke service-smoke perf-bench perf-regress clean
+.PHONY: all check test build chaos-smoke bench-smoke flat-smoke trace-smoke mc-smoke service-smoke service-scale-smoke perf-bench perf-regress clean
 
 all: build
 
@@ -16,6 +16,7 @@ check:
 	$(MAKE) mc-smoke
 	$(MAKE) flat-smoke
 	$(MAKE) service-smoke
+	$(MAKE) service-scale-smoke
 	$(MAKE) perf-regress
 
 # Fast chaos smoke: small system, few trials, fixed seed, both the
@@ -36,14 +37,14 @@ mc-smoke:
 # (--exact-domains skips the clamp to the host's recommended count),
 # then validate that the JSON parses, carries the expected schema and
 # passed the cross-domain determinism check. Also guards that the
-# dune build tree stays untracked. Writes to a scratch file so the
+# dune build tree stays untracked. Writes to the build tree so the
 # committed BENCH_results.json stays canonical.
 bench-smoke:
 	git check-ignore -q _build
 	dune exec bench/main.exe -- perf --domains 2 --exact-domains \
-	  --trials 40 --scale 0.001 --out BENCH_smoke.json
-	jq -e '.schema_version == 4 and .kernel == "flat" and .parallel_sweep.bit_identical == true and (.parallel_sweep.trials_per_sec > 0) and .parallel_sweep.domains_requested == 2 and .flat_vs_effect.outcomes_match == true and (.flat_vs_effect.speedup > 0) and (.scaling | length == 2) and ([.scaling[] | select(.trials_per_sec > 0 and has("minor_words_per_trial") and has("minor_collections"))] | length == 2) and .service.kernel == "flat" and .service.reproducible == true' BENCH_smoke.json >/dev/null
-	@echo "bench-smoke: BENCH_smoke.json OK"
+	  --trials 40 --scale 0.001 --out _build/BENCH_smoke.json
+	jq -e '.schema_version == 5 and .kernel == "flat" and .parallel_sweep.bit_identical == true and (.parallel_sweep.trials_per_sec > 0) and .parallel_sweep.domains_requested == 2 and .flat_vs_effect.outcomes_match == true and (.flat_vs_effect.speedup > 0) and (.scaling | length == 2) and ([.scaling[] | select(.trials_per_sec > 0 and has("minor_words_per_trial") and has("minor_collections"))] | length == 2) and .service.kernel == "flat" and .service.events == "wheel" and .service.reproducible == true and .wheel_vs_heap.reports_match == true and (.wheel_vs_heap.speedup > 0) and (.service_scaling | length == 3) and ([.service_scaling[] | select(.clients_per_sec > 0)] | length == 3)' _build/BENCH_smoke.json >/dev/null
+	@echo "bench-smoke: _build/BENCH_smoke.json OK"
 
 # Flat-kernel smoke: every flat-registered algorithm must be
 # bit-identical to the effect simulator over fresh seeds (outcome
@@ -57,36 +58,51 @@ flat-smoke:
 # Lock-service smoke: a Poisson run on each backend plus a chaos
 # variant, each validated with jq — the report must account for every
 # client, complete work, and (under chaos) recover every crashed
-# holder without wedging a key. Scratch files only.
+# holder without wedging a key. Scratch files live in the build tree.
 service-smoke:
 	dune exec bin/rtas_cli.exe -- service --alg log* --backend sim \
-	  --arrival poisson --clients 500 --keys 8 --seed 11 -o SVC_sim.json
-	jq -e '.backend == "sim" and .counts.clients == 500 and (.counts.completed + .counts.deadline_exceeded + .counts.crashed_clients + .counts.shed == 500) and .counts.completed > 0 and .latency.p999 >= .latency.p50 and .livelocked == false' SVC_sim.json >/dev/null
+	  --arrival poisson --clients 500 --keys 8 --seed 11 -o _build/SVC_sim.json
+	jq -e '.backend == "sim" and .counts.clients == 500 and (.counts.completed + .counts.deadline_exceeded + .counts.crashed_clients + .counts.shed == 500) and .counts.completed > 0 and .latency.p999 >= .latency.p50 and .livelocked == false' _build/SVC_sim.json >/dev/null
 	dune exec bin/rtas_cli.exe -- service --alg tournament --backend atomic \
 	  --arrival poisson --rate 0.005 --clients 150 --keys 4 --domains 4 \
-	  --seed 11 -o SVC_atomic.json
-	jq -e '.backend == "atomic" and .counts.clients == 150 and (.counts.completed + .counts.deadline_exceeded + .counts.crashed_clients + .counts.shed == 150) and .counts.completed > 0 and .livelocked == false' SVC_atomic.json >/dev/null
+	  --seed 11 -o _build/SVC_atomic.json
+	jq -e '.backend == "atomic" and .counts.clients == 150 and (.counts.completed + .counts.deadline_exceeded + .counts.crashed_clients + .counts.shed == 150) and .counts.completed > 0 and .livelocked == false' _build/SVC_atomic.json >/dev/null
 	dune exec bin/rtas_cli.exe -- service --alg log* --backend sim \
 	  --arrival bursty --clients 500 --keys 8 --chaos 0.3 --seed 11 \
-	  -o SVC_chaos.json
-	jq -e '.counts.holder_crashes > 0 and .counts.forced_expiries >= .counts.holder_crashes and (.counts.completed + .counts.deadline_exceeded + .counts.crashed_clients + .counts.shed == 500) and .livelocked == false' SVC_chaos.json >/dev/null
+	  -o _build/SVC_chaos.json
+	jq -e '.counts.holder_crashes > 0 and .counts.forced_expiries >= .counts.holder_crashes and (.counts.completed + .counts.deadline_exceeded + .counts.crashed_clients + .counts.shed == 500) and .livelocked == false' _build/SVC_chaos.json >/dev/null
 	@echo "service-smoke: sim + atomic + chaos OK"
+
+# Million-client scale smoke: one sim run at 1M clients on the timing
+# wheel with sharded execution and the bounded-memory latency
+# histogram, under a hard wall-clock budget. Validates that the run
+# completes, accounts for every client, and actually used the
+# histogram (an exact latency array at this scale would be the bug).
+service-scale-smoke:
+	timeout 120 dune exec bin/rtas_cli.exe -- service --alg tournament \
+	  --backend sim --kernel flat --arrival poisson --rate 20 \
+	  --clients 1000000 --keys 256 --zipf 0.5 --backoff exp \
+	  --max-waiters 32 --hold 50 --events wheel --shards 4 --domains 2 \
+	  --latency hist --seed 42 -o _build/SVC_scale.json
+	jq -e '.counts.clients == 1000000 and (.counts.completed + .counts.deadline_exceeded + .counts.crashed_clients + .counts.shed == 1000000) and .counts.completed > 0 and .latency.mode == "hist" and .latency.p999 >= .latency.p50 and .livelocked == false' _build/SVC_scale.json >/dev/null
+	@echo "service-scale-smoke: 1M clients OK"
 
 # Probe smoke: export a Perfetto trace from a small run and validate
 # its structure with jq (every event carries ph/ts/pid/tid; spans
 # balance: as many B as E events), then run a small profile batch and
-# check the JSON report names the expected phases. Scratch files only.
+# check the JSON report names the expected phases. Scratch files live
+# in the build tree.
 trace-smoke:
 	dune exec bin/rtas_cli.exe -- trace --algo rr_classic -n 8 --seed 3 \
-	  -o trace.json
-	jq -e '.traceEvents | length > 0' trace.json >/dev/null
-	jq -e '[.traceEvents[] | select((has("ph") and has("ts") and has("pid") and has("tid")) | not)] | length == 0' trace.json >/dev/null
-	jq -e '([.traceEvents[] | select(.ph == "B")] | length) == ([.traceEvents[] | select(.ph == "E")] | length)' trace.json >/dev/null
+	  -o _build/trace.json
+	jq -e '.traceEvents | length > 0' _build/trace.json >/dev/null
+	jq -e '[.traceEvents[] | select((has("ph") and has("ts") and has("pid") and has("tid")) | not)] | length == 0' _build/trace.json >/dev/null
+	jq -e '([.traceEvents[] | select(.ph == "B")] | length) == ([.traceEvents[] | select(.ph == "E")] | length)' _build/trace.json >/dev/null
 	dune exec bin/rtas_cli.exe -- profile --algos ge_logstar,chain,rr_classic \
-	  -n 32 -k 8 --trials 20 --seed 3 --json profile.json >/dev/null
-	jq -e '.algos | keys == ["chain", "ge_logstar", "rr_classic"]' profile.json >/dev/null
-	jq -e '[.algos.rr_classic.phases[].phase] | contains(["rr_tree", "rr_ascend", "rr_top"])' profile.json >/dev/null
-	jq -e '.algos.ge_logstar.phases[] | select(.phase == "ge_round") | .calls > 0 and .steps > 0' profile.json >/dev/null
+	  -n 32 -k 8 --trials 20 --seed 3 --json _build/profile.json >/dev/null
+	jq -e '.algos | keys == ["chain", "ge_logstar", "rr_classic"]' _build/profile.json >/dev/null
+	jq -e '[.algos.rr_classic.phases[].phase] | contains(["rr_tree", "rr_ascend", "rr_top"])' _build/profile.json >/dev/null
+	jq -e '.algos.ge_logstar.phases[] | select(.phase == "ge_round") | .calls > 0 and .steps > 0' _build/profile.json >/dev/null
 	@echo "trace-smoke: trace.json + profile.json OK"
 
 # Canonical perf run: regenerates BENCH_results.json (the numbers the

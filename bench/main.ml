@@ -193,18 +193,38 @@ let total_minor_words (workers : Engine.worker_stats array) =
 type service_result = {
   svc_algorithm : string;
   svc_kernel : string;
+  svc_events : string;  (* "wheel" or "heap": which engine was timed *)
   svc_clients : int;
   svc_wall_s : float;
   svc_report : Service.Report.t;
   svc_reproducible : bool;
 }
 
+(* The same overload workload run once per event engine: the headline
+   wheel-vs-heap ratio the perf gate holds (scripts/perf_regress.sh).
+   [wh_reports_match] is full report-JSON equality across engines. *)
+type wheel_vs_heap = {
+  wh_clients : int;
+  wh_wheel_wall_s : float;
+  wh_heap_wall_s : float;
+  wh_reports_match : bool;
+}
+
+(* One point of the service scaling sweep (wheel engine, histogram
+   latency): clients/s as the population grows 10k -> 1M. *)
+type svc_scaling_point = {
+  ss_clients : int;
+  ss_wall_s : float;
+  ss_completed : int;
+  ss_p999 : float;
+}
+
 let write_json ~path ~domains ~domains_requested ~scale ~kernel ~experiments
-    ~sweep ~compare ~scaling ~service =
+    ~sweep ~compare ~scaling ~service ~wheel_vs_heap ~service_scaling =
   let buf = Buffer.create 1024 in
   let add = Buffer.add_string buf in
   add "{\n";
-  add "  \"schema_version\": 4,\n";
+  add "  \"schema_version\": 5,\n";
   add (Printf.sprintf "  \"domains\": %d,\n" domains);
   add (Printf.sprintf "  \"domains_requested\": %d,\n" domains_requested);
   add
@@ -325,6 +345,7 @@ let write_json ~path ~domains ~domains_requested ~scale ~kernel ~experiments
       add ",\n  \"service\": {\n";
       add (Printf.sprintf "    \"algorithm\": \"%s\",\n" s.svc_algorithm);
       add (Printf.sprintf "    \"kernel\": \"%s\",\n" s.svc_kernel);
+      add (Printf.sprintf "    \"events\": \"%s\",\n" s.svc_events);
       add (Printf.sprintf "    \"clients\": %d,\n" s.svc_clients);
       add (Printf.sprintf "    \"wall_s\": %.6f,\n" s.svc_wall_s);
       add
@@ -345,6 +366,37 @@ let write_json ~path ~domains ~domains_requested ~scale ~kernel ~experiments
       add
         (Printf.sprintf "    \"reproducible\": %b\n" s.svc_reproducible);
       add "  }");
+  (match wheel_vs_heap with
+  | None -> add ",\n  \"wheel_vs_heap\": null"
+  | Some w ->
+      add ",\n  \"wheel_vs_heap\": {\n";
+      add (Printf.sprintf "    \"clients\": %d,\n" w.wh_clients);
+      add (Printf.sprintf "    \"wheel_wall_s\": %.6f,\n" w.wh_wheel_wall_s);
+      add (Printf.sprintf "    \"heap_wall_s\": %.6f,\n" w.wh_heap_wall_s);
+      add
+        (Printf.sprintf "    \"speedup\": %.4f,\n"
+           (w.wh_heap_wall_s /. Float.max w.wh_wheel_wall_s 1e-9));
+      add
+        (Printf.sprintf "    \"reports_match\": %b\n" w.wh_reports_match);
+      add "  }");
+  (match service_scaling with
+  | None -> add ",\n  \"service_scaling\": null"
+  | Some points ->
+      add ",\n  \"service_scaling\": [";
+      List.iteri
+        (fun i p ->
+          if i > 0 then add ",";
+          add
+            (Printf.sprintf
+               "\n    {\"clients\": %d, \"wall_s\": %.6f, \
+                \"clients_per_sec\": %.2f, \"completed\": %d, \
+                \"p999_ticks\": %.3f}"
+               p.ss_clients p.ss_wall_s
+               (float_of_int p.ss_clients /. Float.max p.ss_wall_s 1e-9)
+               p.ss_completed p.ss_p999))
+        points;
+      if points <> [] then add "\n  ";
+      add "]");
   add "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -531,6 +583,97 @@ let run_perf ~kernel ~domains_requested ~exact ~trials ~scale ~out () =
     Fmt.epr "perf: service determinism violation — reruns differ@.";
     exit 1
   end;
+  (* Wheel vs heap on the event-dominated workload: sustained overload
+     (Poisson 20/tick onto 4 keys, queues capped at 16, backoff capped
+     at 256 ticks so clients keep bouncing) with client-side retry, so
+     nearly every event is a cheap backoff timer and the event engine
+     is the bottleneck — elections are five orders of magnitude rarer
+     than timer events (~44 against ~22M). min-of-2 per engine; the
+     reports must match byte for byte (the engines share one total
+     event order). *)
+  let overload clients =
+    {
+      (Service.Driver.default ~algorithm:"tournament") with
+      Service.Driver.clients;
+      keys = 4;
+      zipf_s = 0.0;
+      arrival = Service.Arrival.Poisson { rate = 20.0 };
+      backoff = Service.Backoff.Exp { base = 8.0; cap = 256.0 };
+      contenders = 2;
+      max_waiters = 16;
+      hold = 2000.0;
+      on_shed = `Retry;
+      kernel = `Flat;
+      latency = `Hist;
+      seed = 42L;
+    }
+  in
+  let timed_min2 cfg =
+    let r1, w1 = Engine.timed (fun () -> Service.Driver.run cfg) in
+    let _, w2 = Engine.timed (fun () -> Service.Driver.run cfg) in
+    (r1, Float.min w1 w2)
+  in
+  let gate_cfg = overload 100_000 in
+  Fmt.pr "@.== Event engine: wheel vs heap (%d clients, overload + retry) ==@."
+    gate_cfg.Service.Driver.clients;
+  let wh_r, wh_wall = timed_min2 gate_cfg in
+  let hp_r, hp_wall =
+    timed_min2 { gate_cfg with Service.Driver.events = `Heap }
+  in
+  let wh_match =
+    Service.Report.to_json wh_r = Service.Report.to_json hp_r
+  in
+  Fmt.pr "  wheel %.3fs, heap %.3fs: %.2fx, reports match: %b@." wh_wall
+    hp_wall
+    (hp_wall /. Float.max wh_wall 1e-9)
+    wh_match;
+  if not wh_match then begin
+    Fmt.epr "perf: event-engine divergence — wheel and heap reports differ@.";
+    exit 1
+  end;
+  (* Service scaling: clients/s as the population grows 10k -> 1M under
+     moderate overload (most arrivals shed terminally, ~17% complete),
+     wheel engine, bounded-memory histogram latency. *)
+  let scaling_cfg clients =
+    {
+      (Service.Driver.default ~algorithm:"tournament") with
+      Service.Driver.clients;
+      keys = 256;
+      zipf_s = 0.5;
+      arrival = Service.Arrival.Poisson { rate = 20.0 };
+      backoff = Service.Backoff.Exp { base = 8.0; cap = 512.0 };
+      contenders = 2;
+      max_waiters = 32;
+      hold = 50.0;
+      kernel = `Flat;
+      latency = `Hist;
+      seed = 42L;
+    }
+  in
+  Fmt.pr "@.== Service scaling (wheel engine, histogram latency) ==@.";
+  let service_scaling =
+    List.map
+      (fun clients ->
+        let r, w =
+          Engine.timed (fun () -> Service.Driver.run (scaling_cfg clients))
+        in
+        let p999 =
+          match r.Service.Report.latency with
+          | Some l -> l.Service.Report.l_p999
+          | None -> 0.0
+        in
+        Fmt.pr "  %8d clients: %.3fs (%.0f clients/s), p999 %.0f ticks@."
+          clients w
+          (float_of_int clients /. Float.max w 1e-9)
+          p999;
+        {
+          ss_clients = clients;
+          ss_wall_s = w;
+          ss_completed = r.Service.Report.counts.Service.Report.completed;
+          ss_p999 = p999;
+        })
+      [ 10_000; 100_000; 1_000_000 ]
+  in
   write_json ~path:out ~domains ~domains_requested ~scale ~kernel:kernel_name
     ~experiments
     ~service:
@@ -538,11 +681,21 @@ let run_perf ~kernel ~domains_requested ~exact ~trials ~scale ~out () =
          {
            svc_algorithm = "log*";
            svc_kernel = kernel_name;
+           svc_events = "wheel";
            svc_clients = svc_cfg.Service.Driver.clients;
            svc_wall_s = svc_wall;
            svc_report = svc_r1;
            svc_reproducible;
          })
+    ~wheel_vs_heap:
+      (Some
+         {
+           wh_clients = gate_cfg.Service.Driver.clients;
+           wh_wheel_wall_s = wh_wall;
+           wh_heap_wall_s = hp_wall;
+           wh_reports_match = wh_match;
+         })
+    ~service_scaling:(Some service_scaling)
     ~compare:(Some compare) ~scaling:(Some scaling)
     ~sweep:
       (Some
@@ -586,7 +739,7 @@ let run_tables ~domains ~out ids =
   in
   write_json ~path:out ~domains ~domains_requested:domains ~scale:1.0
     ~kernel:"effect" ~experiments:timed ~sweep:None ~compare:None
-    ~scaling:None ~service:None
+    ~scaling:None ~service:None ~wheel_vs_heap:None ~service_scaling:None
 
 let usage () =
   Fmt.pr

@@ -676,6 +676,48 @@ let service_cmd =
             "Fault plan applied inside every sim election round, e.g. \
              $(b,storm:0.05).")
   in
+  let events_arg =
+    Arg.(
+      value
+      & opt (enum [ ("wheel", `Wheel); ("heap", `Heap) ]) `Wheel
+      & info [ "events" ] ~docv:"wheel|heap"
+          ~doc:
+            "Sim event engine. $(b,wheel) (default) is the hierarchical \
+             timing wheel: O(1) schedule/advance, allocation-free in steady \
+             state. $(b,heap) is the binary-heap oracle. The report is \
+             byte-identical either way.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Keyspace partitions for the sim backend (key mod S). The \
+             report is byte-identical for any value; with $(b,--domains) > \
+             1 the shards run in parallel.")
+  in
+  let latency_arg =
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("exact", `Exact); ("hist", `Hist) ]) `Auto
+      & info [ "latency" ] ~docv:"auto|exact|hist"
+          ~doc:
+            "Latency recording (sim). $(b,exact) keeps every sample; \
+             $(b,hist) uses the bounded-memory log-bucketed histogram \
+             (percentiles within ~1.6%); $(b,auto) picks exact up to 65536 \
+             clients and hist beyond.")
+  in
+  let on_shed_arg =
+    Arg.(
+      value
+      & opt (enum [ ("drop", `Drop); ("retry", `Retry) ]) `Drop
+      & info [ "on-shed" ] ~docv:"drop|retry"
+          ~doc:
+            "What a full queue does to a joining client (sim). $(b,drop) \
+             rejects it terminally; $(b,retry) models a client-side SDK \
+             retry loop — the client re-enters backoff and bounces until \
+             completion or deadline, and $(b,shed) counts rejection events.")
+  in
   let svc_timeout_arg =
     Arg.(
       value & opt float 30.0
@@ -687,8 +729,8 @@ let service_cmd =
       value & opt int 4
       & info [ "domains" ] ~docv:"D"
           ~doc:
-            "Worker domains for the atomic backend (ignored by sim, whose \
-             result never depends on it).")
+            "Worker domains: atomic-backend racers, or the sim shard pool \
+             when $(b,--shards) > 1 (the sim result never depends on it).")
   in
   let out_arg =
     Arg.(
@@ -712,8 +754,8 @@ let service_cmd =
         exit 2
   in
   let service alg backend kernel arrival rate clients keys zipf backoff
-      deadline hold chaos max_waiters contenders plan_str timeout domains seed
-      out =
+      deadline hold chaos max_waiters contenders plan_str events shards latency
+      on_shed timeout domains seed out =
     let arrival =
       match arrival with
       | `Poisson -> Service.Arrival.Poisson { rate }
@@ -737,7 +779,7 @@ let service_cmd =
       try
         match backend with
         | `Sim ->
-            Service.Driver.run
+            Service.Driver.run ~domains
               {
                 (Service.Driver.default ~algorithm:alg) with
                 clients;
@@ -752,6 +794,10 @@ let service_cmd =
                 crash_prob = chaos;
                 plan;
                 kernel;
+                events;
+                shards;
+                latency;
+                on_shed;
                 seed;
               }
         | `Atomic ->
@@ -806,7 +852,8 @@ let service_cmd =
       const service $ alg_arg $ backend_arg $ kernel_arg $ arrival_arg
       $ rate_arg $ clients_arg $ keys_arg $ zipf_arg $ backoff_arg
       $ deadline_arg $ hold_arg $ chaos_arg $ max_waiters_arg $ contenders_arg
-      $ plan_arg $ svc_timeout_arg $ svc_domains_arg $ seed_arg $ out_arg)
+      $ plan_arg $ events_arg $ shards_arg $ latency_arg $ on_shed_arg
+      $ svc_timeout_arg $ svc_domains_arg $ seed_arg $ out_arg)
 
 (* {1 The flat-kernel smoke: effect-parity plus a real domain fan-out}
 

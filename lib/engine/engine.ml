@@ -258,6 +258,13 @@ let run ?domains ?chunk ~trials ~seed f =
     ~local:(fun () -> ())
     (fun () ~trial ~seed -> f ~trial ~seed)
 
+(* Seedless fan-out for callers that manage their own derived streams
+   per task (e.g. the sharded service driver, whose shard results are a
+   pure function of the shard index): the engine only provides the
+   domain pool and the deterministic result order. *)
+let tasks ?domains ?chunk ~n f =
+  run ?domains ?chunk ~trials:n ~seed:0L (fun ~trial ~seed:_ -> f trial)
+
 let fold ?domains ?chunk ~trials ~seed ~init ~add f =
   Array.fold_left add init (run ?domains ?chunk ~trials ~seed f)
 

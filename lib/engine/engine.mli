@@ -79,6 +79,15 @@ val run :
     first on the calling domain: its value seeds the result array, so
     no per-trial [option] boxing occurs. *)
 
+val tasks : ?domains:int -> ?chunk:int -> n:int -> (int -> 'a) -> 'a array
+(** Seedless task fan-out: evaluate [f i] for [i] in [\[0, n)] on the
+    domain pool and return the results in task order. For callers whose
+    tasks are already pure functions of the task index and manage their
+    own derived streams — the sharded service driver runs its shards
+    through this. The determinism contract is {!run}'s: which domain
+    runs a task never changes what it computes, so the result array is
+    identical for any [domains]. Tasks must not share mutable state. *)
+
 val run_local :
   ?domains:int ->
   ?chunk:int ->

@@ -21,8 +21,11 @@ let validate = function
    RNG state shared between clients, hence no cross-client coupling and
    bit-reproducible backoff under any execution order. *)
 let jitter_u ~seed ~client ~attempt =
-  let s = Sim.Rng.derive (Sim.Rng.derive seed ~stream:client) ~stream:attempt in
-  Sim.Rng.float (Sim.Rng.create s)
+  (* One fused cross-module call: equals
+     [float_of_seed (derive (derive seed ~stream:client) ~stream:attempt)]
+     bit-for-bit, but the intermediate sub-seeds stay unboxed — backoff
+     jitter is on the driver's per-event hot path and must not allocate. *)
+  Sim.Rng.jitter_of_seed seed ~client ~attempt
 
 let delay t ~seed ~client ~attempt =
   let attempt = max 1 attempt in
@@ -31,7 +34,13 @@ let delay t ~seed ~client ~attempt =
      forever; one tick is the smallest forward step. *)
   | Immediate -> 1.0
   | Exp { base; cap } ->
-      let raw = Float.min cap (base *. Float.pow 2.0 (float_of_int (attempt - 1))) in
+      (* [base * 2^(attempt-1)] capped: a shift-and-convert rather than
+         [Float.pow] (a C call on the per-event hot path); attempts
+         past 62 doublings are far beyond any finite cap. *)
+      let raw =
+        if attempt >= 63 then cap
+        else Float.min cap (base *. float_of_int (1 lsl (attempt - 1)))
+      in
       let u = jitter_u ~seed ~client ~attempt in
       (* Decorrelate retries: uniform in [raw/2, raw). *)
       Float.max 1.0 ((raw /. 2.0) +. (u *. raw /. 2.0))

@@ -19,8 +19,25 @@
     end to end. Mid-election contender crashes come from [plan].
 
     The whole run is a pure function of the config: virtual time, a
-    deterministic event heap, and {!Sim.Rng.derive}-split streams make
+    deterministic event engine, and {!Sim.Rng.derive}-split streams make
     the report (and its JSON) bit-identical across repeats and machines.
+    Three axes of the execution strategy are report-invariant, each
+    pinned by a differential test:
+
+    - [events]: the {!Wheel} timing-wheel engine (O(1), allocation-free
+      in steady state) versus the PR 6 binary-heap oracle. Both order
+      events by (time, key, per-key sequence).
+    - [shards]: the keyspace is partitioned [key mod shards]; every
+      per-key stream (round seeds, chaos draws, event sequence) is
+      derived from (seed, key), and keys never interact, so per-shard
+      partial reports merge associatively into the single-shard report
+      byte for byte. With [~domains > 1] shards run on the engine's
+      domain pool.
+    - [kernel]: flat machines versus effect scheduler, as of PR 7.
+
+    Every claimed round arms a lease timer (the deadline): recovery
+    from holder crashes does not rely on foreseeing the crash, and a
+    lease firing after a clean release is ignored as stale.
 
     All times are in ticks. One election round occupies the key for the
     election's simulated span (its {!Sim.Sched.time}), then [hold] more
@@ -36,6 +53,18 @@ type config = {
   deadline : float;  (** Per-client age limit, and the round lease. *)
   hold : float;  (** Ticks a winner holds the key after its round. *)
   max_waiters : int;  (** Per-key queue capacity; beyond it, shed. *)
+  on_shed : [ `Drop | `Retry ];
+      (** What a full queue does to a joining client. [`Drop] (the
+          default) rejects it terminally — [counts.shed] partitions the
+          client population together with completions, deadlines and
+          crashes. [`Retry] models a client-side SDK retry loop: the
+          rejection is counted in [counts.shed] but the client re-enters
+          backoff (its attempt counter advances, so [Exp] delays keep
+          escalating) and bounces until it completes or its deadline
+          expires; [counts.shed] then counts rejection {e events} and
+          only completed/deadline/crashed partition the population.
+          Under sustained overload this multiplies cheap timer events
+          per client — the regime the event-engine benchmark gates. *)
   contenders : int;
       (** Election width [n]: instances are built with this many slots
           and a round admits at most this many contenders. *)
@@ -52,6 +81,22 @@ type config = {
           round allocates nothing. Requires a flat-registered algorithm
           and is incompatible with [plan] (fault plans hook the effect
           scheduler); {!run} raises [Invalid_argument] otherwise. *)
+  events : [ `Heap | `Wheel ];
+      (** Event engine. [`Wheel] (the default) is the hierarchical
+          timing wheel: O(1) schedule/advance, zero allocation per
+          event in steady state. [`Heap] is the PR 6 binary heap, kept
+          as the byte-identical differential oracle and benchmark
+          baseline. *)
+  shards : int;
+      (** Keyspace partitions (default 1). The report is byte-identical
+          for any value; >1 enables parallel execution via
+          {!run}'s [~domains]. *)
+  latency : [ `Auto | `Exact | `Hist ];
+      (** Latency recording: exact per-sample percentiles, or the
+          bounded-memory log-bucketed histogram (percentiles within
+          ~1.6% relative; mean and max stay exact). [`Auto] picks
+          [`Exact] up to 65536 clients and [`Hist] beyond — million-
+          client runs never hold a per-client latency array. *)
   seed : int64;
 }
 
@@ -63,8 +108,11 @@ val default : algorithm:string -> config
 val validate : config -> unit
 (** Raises [Invalid_argument] on out-of-range fields. *)
 
-val run : ?metrics:Obs.Metrics.t -> config -> Report.t
-(** Run the workload to completion (the event heap drains — open-loop
-    arrivals are finite). When [metrics] is given, completion latencies
-    stream into a [service.latency_ticks] histogram and the final
-    totals into [service.*] counters. *)
+val run : ?metrics:Obs.Metrics.t -> ?domains:int -> config -> Report.t
+(** Run the workload to completion (the event engine drains — open-loop
+    arrivals are finite). [~domains] (default 1) caps the domain pool
+    used when [shards > 1]; it never affects the report. When [metrics]
+    is given, completion latencies feed a [service.latency_ticks]
+    histogram (after the shard merge — exact samples in [`Exact] mode,
+    bucket midpoints in [`Hist]) and the final totals the [service.*]
+    counters. *)

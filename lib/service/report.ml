@@ -26,6 +26,7 @@ let zero_counts ~clients =
   }
 
 type latency = {
+  l_mode : string;  (* "exact" or "hist" *)
   l_n : int;
   l_mean : float;
   l_p50 : float;
@@ -64,6 +65,7 @@ let latency_of_samples samples =
     let p q = Sim.Stats.percentile_sorted sorted q in
     Some
       {
+        l_mode = "exact";
         l_n = s.Sim.Stats.count;
         l_mean = s.Sim.Stats.mean;
         l_p50 = p 0.5;
@@ -74,10 +76,29 @@ let latency_of_samples samples =
       }
   end
 
+let latency_of_histo h =
+  match Histo.snapshot h with
+  | None -> None
+  | Some s ->
+      Some
+        {
+          l_mode = Histo.mode_name h;
+          l_n = s.Histo.s_n;
+          l_mean = s.Histo.s_mean;
+          l_p50 = s.Histo.s_p50;
+          l_p95 = s.Histo.s_p95;
+          l_p99 = s.Histo.s_p99;
+          l_p999 = s.Histo.s_p999;
+          l_max = s.Histo.s_max;
+        }
+
 (* Every client must end in exactly one bucket; the drivers assert this
-   via [balanced] before reporting. *)
-let balanced c =
-  c.completed + c.deadline_exceeded + c.crashed_clients + c.shed
+   via [balanced] before reporting. Under the driver's retry-on-shed
+   mode a shed is a non-terminal rejection event (the client retries),
+   so it leaves the partition. *)
+let balanced ?(shed_terminal = true) c =
+  c.completed + c.deadline_exceeded + c.crashed_clients
+  + (if shed_terminal then c.shed else 0)
   = c.clients
 
 let json_escape s =
@@ -125,9 +146,11 @@ let to_json t =
   | Some l ->
       add
         (Printf.sprintf
-           "  \"latency\": {\"n\": %d, \"mean\": %.3f, \"p50\": %.3f, \
-            \"p95\": %.3f, \"p99\": %.3f, \"p999\": %.3f, \"max\": %.3f},\n"
-           l.l_n l.l_mean l.l_p50 l.l_p95 l.l_p99 l.l_p999 l.l_max));
+           "  \"latency\": {\"mode\": \"%s\", \"n\": %d, \"mean\": %.3f, \
+            \"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f, \"p999\": %.3f, \
+            \"max\": %.3f},\n"
+           (json_escape l.l_mode) l.l_n l.l_mean l.l_p50 l.l_p95 l.l_p99
+           l.l_p999 l.l_max));
   add (Printf.sprintf "  \"livelocked\": %b,\n" t.livelocked);
   (match t.diagnosis with
   | None -> add "  \"diagnosis\": null\n"

@@ -22,18 +22,24 @@ type counts = {
 
 val zero_counts : clients:int -> counts
 
-val balanced : counts -> bool
+val balanced : ?shed_terminal:bool -> counts -> bool
 (** Every client ended in exactly one terminal bucket:
-    [completed + deadline_exceeded + crashed_clients + shed = clients]. *)
+    [completed + deadline_exceeded + crashed_clients + shed = clients].
+    With [~shed_terminal:false] (the driver's retry-on-shed mode,
+    where a shed is a rejection {e event}, not a client outcome) the
+    [shed] term leaves the partition. *)
 
 type latency = {
+  l_mode : string;
+      (** ["exact"] (per-sample percentiles) or ["hist"] (log-bucketed,
+          bounded memory — percentiles within ~1.6% relative). *)
   l_n : int;
-  l_mean : float;
+  l_mean : float;  (** Exact in both modes. *)
   l_p50 : float;
   l_p95 : float;
   l_p99 : float;
   l_p999 : float;
-  l_max : float;
+  l_max : float;  (** Exact in both modes. *)
 }
 
 type t = {
@@ -59,6 +65,10 @@ type t = {
 val latency_of_samples : float array -> latency option
 (** Exact nearest-rank percentiles (one sort); [None] on the empty
     sample. Does not mutate its argument. *)
+
+val latency_of_histo : Histo.t -> latency option
+(** Latency block from a {!Histo} in either mode; [None] when nothing
+    was observed. *)
 
 val to_json : t -> string
 (** A single JSON object; stable field order, so a fixed-seed simulator

@@ -30,6 +30,35 @@ let derive seed ~stream =
        (Int64.logxor seed (mix (Int64.of_int stream)))
        golden_gamma)
 
+(* The first [float] draw of [create seed], computed without
+   allocating the generator record — the zero-allocation path for
+   one-shot jitter draws (service backoff runs this per retry event).
+   Scaling by [0x1p-53] instead of dividing by [2^53] is exact (both
+   only adjust the exponent) and skips the FP divide. *)
+let float_of_seed seed =
+  let v =
+    Int64.shift_right_logical (mix (Int64.add seed golden_gamma)) 11
+  in
+  Int64.to_float v *. 0x1p-53
+
+(* Exactly [float_of_seed (derive (derive seed ~stream:client)
+   ~stream:attempt)], fused into one function. Each cross-module
+   [derive] call boxes its [int64] result (no flambda); on the service
+   driver's per-event backoff path those two boxes were the only
+   allocations left, so the fusion keeps the sub-seeds in registers.
+   Kept bit-identical to the composed form — test_service pins it. *)
+let jitter_of_seed seed ~client ~attempt =
+  let s1 =
+    mix
+      (Int64.add (Int64.logxor seed (mix (Int64.of_int client))) golden_gamma)
+  in
+  let s2 =
+    mix
+      (Int64.add (Int64.logxor s1 (mix (Int64.of_int attempt))) golden_gamma)
+  in
+  let v = Int64.shift_right_logical (mix (Int64.add s2 golden_gamma)) 11 in
+  Int64.to_float v *. 0x1p-53
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   let mask = Int64.of_int max_int in
@@ -40,7 +69,7 @@ let bool t = Int64.logand (next t) 1L = 1L
 
 let float t =
   let v = Int64.shift_right_logical (next t) 11 in
-  Int64.to_float v /. 9007199254740992.0 (* 2^53 *)
+  Int64.to_float v *. 0x1p-53 (* exact: same bits as dividing by 2^53 *)
 
 let geometric_capped t l =
   if l < 1 then invalid_arg "Rng.geometric_capped: l must be >= 1";

@@ -44,6 +44,19 @@ val bool : t -> bool
 val float : t -> float
 (** Uniform in [\[0, 1)]. *)
 
+val float_of_seed : int64 -> float
+(** [float_of_seed seed] is exactly [float (create seed)] without
+    allocating the generator: the one-shot uniform draw for callers
+    that mint a fresh stream per draw (e.g. per-retry backoff jitter
+    on the service driver's zero-allocation event path). *)
+
+val jitter_of_seed : int64 -> client:int -> attempt:int -> float
+(** [jitter_of_seed seed ~client ~attempt] is exactly
+    [float_of_seed (derive (derive seed ~stream:client)
+    ~stream:attempt)], fused so the two intermediate sub-seeds are
+    never boxed. This is the per-retry jitter draw of the service
+    backoff policies: one cross-module call, zero allocations. *)
+
 val geometric_capped : t -> int -> int
 (** [geometric_capped t l] samples the distribution of line 3 of the
     paper's Figure 1: [Pr(x = i) = 1/2^i] for [1 <= i < l] and

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Compare a fresh BENCH_results.json (schema 4, flat kernel) against the
+# Compare a fresh BENCH_results.json (schema 5, flat kernel) against the
 # committed baseline and fail on perf or allocation regressions beyond
 # the tolerances below.
 #
@@ -28,6 +28,12 @@
 #     loose because the families are timed once, not averaged.
 #   - service: reproducible, on the flat kernel, and >= 50% of baseline
 #     clients/sec.
+#   - wheel vs heap: the timing-wheel engine must beat the binary-heap
+#     oracle by >= 5x on the same-run 100k-client overload workload,
+#     with byte-identical reports. Same-run for the same reason as the
+#     kernel gate: both engines see the same machine at the same moment.
+#   - service scaling: the 1M-client point must sustain an absolute
+#     clients/sec floor plus >= 50% of the baseline point.
 set -eu
 
 # Committed ceiling on flat-kernel steady-state allocation: the effect
@@ -41,6 +47,17 @@ GC_CEILING_WORDS=830
 # must sustain on the perf-arena workload.
 MIN_FLAT_SPEEDUP=10.0
 
+# The same-run wheel-vs-heap ratio the timing wheel must sustain on the
+# 100k-client overload workload (measured ~5.4-6x; the heap's
+# log-factor and per-event allocation are the difference). The floor
+# sits well under the measurement because the heap side alone swings
+# ~±5% run to run on a shared host.
+MIN_WHEEL_SPEEDUP=4.5
+
+# Absolute floor on the 1M-client scaling point (measured ~1.4M
+# clients/s; generous for wall-clock noise on a shared host).
+MIN_SCALE_CPS=400000
+
 CUR=${1:-BENCH_results.json}
 BASE=${2:-BENCH_baseline.json}
 
@@ -52,10 +69,10 @@ fail() {
 [ -f "$CUR" ] || fail "missing $CUR (run 'make perf-bench' first)"
 [ -f "$BASE" ] || fail "missing baseline $BASE"
 
-jq -e '.schema_version == 4' "$CUR" >/dev/null \
-    || fail "$CUR: schema_version != 4"
-jq -e '.schema_version == 4' "$BASE" >/dev/null \
-    || fail "$BASE: schema_version != 4"
+jq -e '.schema_version == 5' "$CUR" >/dev/null \
+    || fail "$CUR: schema_version != 5"
+jq -e '.schema_version == 5' "$BASE" >/dev/null \
+    || fail "$BASE: schema_version != 5"
 jq -e '.kernel == "flat" and .parallel_sweep.kernel == "flat"' "$CUR" >/dev/null \
     || fail "$CUR: perf sweep must run on the flat kernel"
 jq -e '.parallel_sweep.bit_identical == true' "$CUR" >/dev/null \
@@ -140,6 +157,33 @@ base_svc=$(jq '.service.clients_per_sec' "$BASE")
 awk -v c="$cur_svc" -v b="$base_svc" 'BEGIN { exit !(c >= 0.5 * b) }' \
     || fail "service throughput regression: $cur_svc clients/s vs baseline $base_svc (< 50%)"
 
+# Event engine: the wheel must carry the overload workload >= 5x
+# faster than the heap oracle in the same run, at the canonical 100k
+# clients, and both engines must have produced byte-identical reports
+# (the report equality is the differential check; the ratio is the
+# tentpole perf gate).
+jq -e '.wheel_vs_heap.clients == 100000' "$CUR" >/dev/null \
+    || fail "$CUR: wheel_vs_heap must be measured at 100000 clients"
+jq -e '.wheel_vs_heap.reports_match == true' "$CUR" >/dev/null \
+    || fail "$CUR: wheel and heap engines disagree on the report"
+wheel_speedup=$(jq '.wheel_vs_heap.speedup' "$CUR")
+awk -v s="$wheel_speedup" -v m="$MIN_WHEEL_SPEEDUP" 'BEGIN { exit !(s >= m) }' \
+    || fail "timing wheel only ${wheel_speedup}x the heap oracle (need >= ${MIN_WHEEL_SPEEDUP}x, same-run)"
+
+# Service scaling: the sweep must reach 1M clients and the 1M point
+# must hold both the absolute clients/sec floor and 50% of baseline.
+jq -e '[.service_scaling[] | select(.clients_per_sec <= 0)] | length == 0' \
+    "$CUR" >/dev/null \
+    || fail "$CUR: service scaling sweep has a non-positive throughput point"
+cur_scale=$(jq '[.service_scaling[] | select(.clients == 1000000)][0].clients_per_sec' "$CUR")
+base_scale=$(jq '[.service_scaling[] | select(.clients == 1000000)][0].clients_per_sec' "$BASE")
+[ "$cur_scale" != "null" ] || fail "$CUR: service scaling sweep missing the 1M-client point"
+awk -v c="$cur_scale" -v m="$MIN_SCALE_CPS" 'BEGIN { exit !(c >= m) }' \
+    || fail "1M-client scaling point at $cur_scale clients/s (floor $MIN_SCALE_CPS)"
+awk -v c="$cur_scale" -v b="$base_scale" 'BEGIN { exit !(c >= 0.5 * b) }' \
+    || fail "1M-client scaling regression: $cur_scale clients/s vs baseline $base_scale (< 50%)"
+
 echo "perf-regress: OK (flat ${speedup}x effect same-run; $cur_tps trials/s" \
     "vs baseline $base_tps; $cur_words minor words/trial (ceiling $GC_CEILING_WORDS);" \
-    "service $cur_svc clients/s vs baseline $base_svc)"
+    "service $cur_svc clients/s vs baseline $base_svc;" \
+    "wheel ${wheel_speedup}x heap same-run; 1M-client point $cur_scale clients/s)"

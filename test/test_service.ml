@@ -254,6 +254,285 @@ let test_driver_sheds_overload () =
   checkb "sheds under overload" true (c.Service.Report.shed > 0);
   checkb "balanced under shed" true (Service.Report.balanced c)
 
+(* {1 The event engines, differentially}
+
+   The timing wheel must be report-invisible: both engines order events
+   by (time, key, per-key sequence), so for any config and seed the
+   JSON report is byte-identical. 120 seeds per dual-backend entry,
+   plus a chaos variant (lease expiries exercise the long-delay wheel
+   levels). *)
+
+let test_wheel_matches_heap () =
+  List.iter
+    (fun (e : Rtas.Registry.entry) ->
+      let name = e.Rtas.Registry.name in
+      for s = 1 to 120 do
+        let cfg =
+          {
+            (Service.Driver.default ~algorithm:name) with
+            Service.Driver.clients = 150;
+            keys = 8;
+            contenders = 4;
+            seed = Int64.of_int s;
+          }
+        in
+        let wheel =
+          Service.Report.to_json
+            (Service.Driver.run { cfg with Service.Driver.events = `Wheel })
+        in
+        let heap =
+          Service.Report.to_json
+            (Service.Driver.run { cfg with Service.Driver.events = `Heap })
+        in
+        Alcotest.(check string)
+          (Printf.sprintf "%s seed %d: wheel = heap" name s)
+          heap wheel
+      done)
+    (Rtas.Registry.dual ())
+
+let test_wheel_matches_heap_chaos () =
+  for s = 1 to 120 do
+    let cfg = small_cfg ~chaos:0.3 ~seed:(Int64.of_int s) () in
+    let wheel =
+      Service.Report.to_json
+        (Service.Driver.run { cfg with Service.Driver.events = `Wheel })
+    in
+    let heap =
+      Service.Report.to_json
+        (Service.Driver.run { cfg with Service.Driver.events = `Heap })
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "chaos seed %d: wheel = heap" s)
+      heap wheel
+  done
+
+(* Sharded execution: the keyspace partition is report-invisible for
+   any shard count, on either engine, serial or on a domain pool. *)
+let test_driver_shards_identical () =
+  let cfg =
+    {
+      (small_cfg ~chaos:0.2 ()) with
+      Service.Driver.clients = 400;
+      keys = 8;
+      zipf_s = 0.7;
+    }
+  in
+  let run ?domains shards events =
+    Service.Report.to_json
+      (Service.Driver.run ?domains
+         { cfg with Service.Driver.shards; events })
+  in
+  let base = run 1 `Wheel in
+  Alcotest.(check string) "2 shards = 1 shard" base (run 2 `Wheel);
+  Alcotest.(check string) "4 shards = 1 shard" base (run 4 `Wheel);
+  Alcotest.(check string) "4 shards on 2 domains" base
+    (run ~domains:2 4 `Wheel);
+  Alcotest.(check string) "4 heap shards" base (run ~domains:2 4 `Heap)
+
+(* The retry shed mode: rejections are events, not terminal outcomes —
+   completed + deadline + crashed partition the population, shed counts
+   bounces (and under sustained overload exceeds the client count) —
+   and the engines still agree byte for byte. *)
+let test_driver_retry_on_shed () =
+  let cfg =
+    {
+      (Service.Driver.default ~algorithm:"tournament") with
+      Service.Driver.clients = 2_000;
+      keys = 2;
+      zipf_s = 0.0;
+      arrival = Service.Arrival.Poisson { rate = 2.0 };
+      contenders = 2;
+      max_waiters = 4;
+      hold = 500.0;
+      on_shed = `Retry;
+      seed = 42L;
+    }
+  in
+  let rw = Service.Driver.run { cfg with Service.Driver.events = `Wheel } in
+  let rh = Service.Driver.run { cfg with Service.Driver.events = `Heap } in
+  Alcotest.(check string)
+    "retry mode: wheel = heap"
+    (Service.Report.to_json rh)
+    (Service.Report.to_json rw);
+  let c = rw.Service.Report.counts in
+  checkb "shed events recorded" true (c.Service.Report.shed > 0);
+  checkb "shed exceeds clients (events, not outcomes)" true
+    (c.Service.Report.shed > c.Service.Report.clients);
+  checki "terminal partition excludes shed"
+    c.Service.Report.clients
+    (c.Service.Report.completed + c.Service.Report.deadline_exceeded
+   + c.Service.Report.crashed_clients);
+  checkb "partition predicate agrees" true
+    (Service.Report.balanced ~shed_terminal:false c)
+
+(* {1 The wheel in isolation} *)
+
+(* Torture the event order: a bulk phase of duplicate-heavy random
+   times (hitting every wheel level), then an interleaved phase where
+   each pop triggers a fresh schedule — including zero-delay events
+   landing in the live due buffer. Every popped event must come out in
+   exact (at, key, kseq) lexicographic order. *)
+let test_wheel_ordering () =
+  let w = Service.Wheel.create ~capacity:64 () in
+  let rng = Sim.Rng.create 77L in
+  (* Online reference: the set of currently-live events; a correct pop
+     is the (at, key, kseq) minimum of exactly that set. (A plain
+     offline sort would be wrong: an event scheduled at an
+     already-popped instant legitimately pops after its same-time,
+     larger-ord predecessors.) *)
+  let live = ref [] in
+  let sched at key kseq =
+    Service.Wheel.schedule w ~at ~key ~kseq ~kind:(kseq land 3)
+      ~a:(key + kseq) ~b:kseq;
+    live := (at, key, kseq) :: !live
+  in
+  let kseq = ref 0 in
+  for _ = 1 to 3_000 do
+    (* Times from a few ticks to beyond level 3; integer-heavy so
+       same-tick ties are common, with occasional fractional parts. *)
+    let at =
+      float_of_int (Sim.Rng.int rng 70_000_000)
+      +. (if Sim.Rng.int rng 4 = 0 then Sim.Rng.float rng else 0.0)
+    in
+    incr kseq;
+    sched at (Sim.Rng.int rng 64) !kseq
+  done;
+  let pop1 () =
+    let id = Service.Wheel.pop w in
+    checkb "pop id" true (id >= 0);
+    let ord = w.Service.Wheel.ev_ord.(id) in
+    let meta = w.Service.Wheel.ev_meta.(id) in
+    let key = Service.Wheel.key_of_ord ord in
+    let ks = Service.Wheel.kseq_of_ord ord in
+    (* The payload must round-trip through the packing. *)
+    checki "kind" (ks land 3) (Service.Wheel.kind_of_meta meta);
+    checki "a" (key + ks) (Service.Wheel.a_of_meta meta);
+    checki "b" ks (Service.Wheel.b_of_meta meta);
+    let at = w.Service.Wheel.ev_at.(id) in
+    let min_live =
+      List.fold_left min (List.hd !live) (List.tl !live)
+    in
+    checkb "pop is the minimum live event" true (min_live = (at, key, ks));
+    live := List.filter (fun e -> e <> min_live) !live;
+    at
+  in
+  for _ = 1 to 1_500 do
+    let now = pop1 () in
+    (* Interleave: a zero-delay event at the popped instant and a
+       short-delay one, both landing while the due buffer is live. *)
+    incr kseq;
+    sched now (Sim.Rng.int rng 64) !kseq;
+    incr kseq;
+    sched (now +. float_of_int (Sim.Rng.int rng 1_000)) (Sim.Rng.int rng 64)
+      !kseq
+  done;
+  while Service.Wheel.live w > 0 do
+    ignore (pop1 ())
+  done;
+  checkb "every scheduled event popped" true (!live = [])
+
+(* The steady-state zero-allocation pin: after warmup (pool and due
+   buffer at capacity), a schedule/pop cycle must not allocate a single
+   minor word — the property the million-client driver leans on. *)
+let test_wheel_zero_alloc () =
+  let w = Service.Wheel.create ~capacity:512 () in
+  let cycle start =
+    for i = 0 to 399 do
+      Service.Wheel.schedule w
+        ~at:(start +. float_of_int (i * 97 mod 10_000))
+        ~key:(i land 15) ~kseq:i ~kind:(i land 3) ~a:i ~b:0
+    done;
+    let last = ref 0.0 in
+    while Service.Wheel.live w > 0 do
+      let id = Service.Wheel.pop w in
+      last := w.Service.Wheel.ev_at.(id)
+    done;
+    !last
+  in
+  let t = cycle 0.0 in
+  let s0 = (Gc.quick_stat ()).Gc.minor_words in
+  let t = cycle t in
+  let dw = (Gc.quick_stat ()).Gc.minor_words -. s0 in
+  checkb "wheel cycles allocation-free after warmup" true (dw = 0.0);
+  checkb "virtual time advanced" true (t > 0.0)
+
+(* {1 Latency recording} *)
+
+(* The log-bucketed histogram against the exact oracle on the same
+   run: mean and max are exact by construction; percentiles are bucket
+   midpoints within the bucket's relative width (1/32 here) of the
+   exact nearest-rank value. *)
+let test_latency_hist_close_to_exact () =
+  let cfg =
+    { (small_cfg ()) with Service.Driver.clients = 1_500; keys = 8 }
+  in
+  let lat mode =
+    let r = Service.Driver.run { cfg with Service.Driver.latency = mode } in
+    Option.get r.Service.Report.latency
+  in
+  let e = lat `Exact and h = lat `Hist in
+  checki "same sample count" e.Service.Report.l_n h.Service.Report.l_n;
+  Alcotest.(check (float 1e-9)) "mean exact" e.Service.Report.l_mean
+    h.Service.Report.l_mean;
+  Alcotest.(check (float 1e-9)) "max exact" e.Service.Report.l_max
+    h.Service.Report.l_max;
+  List.iter
+    (fun (name, ev, hv) ->
+      checkb
+        (Printf.sprintf "%s: |%.3f - %.3f| within bucket width" name hv ev)
+        true
+        (Float.abs (hv -. ev) <= (ev /. 32.0) +. 1.0))
+    [
+      ("p50", e.Service.Report.l_p50, h.Service.Report.l_p50);
+      ("p95", e.Service.Report.l_p95, h.Service.Report.l_p95);
+      ("p99", e.Service.Report.l_p99, h.Service.Report.l_p99);
+      ("p999", e.Service.Report.l_p999, h.Service.Report.l_p999);
+    ]
+
+(* Merge associativity and commutativity, both modes: shard partials
+   must combine into the same snapshot regardless of grouping. *)
+let test_histo_merge_associative () =
+  List.iter
+    (fun mode ->
+      let samples i =
+        List.init 200 (fun j ->
+            1.0 +. float_of_int (((i * 7919) + (j * 104729)) mod 50_000))
+      in
+      let mk i =
+        let h = Service.Histo.create mode in
+        List.iter (Service.Histo.observe h) (samples i);
+        h
+      in
+      let snap order =
+        let acc = Service.Histo.create mode in
+        List.iter
+          (fun i -> Service.Histo.merge_into ~into:acc (mk i))
+          order;
+        Option.get (Service.Histo.snapshot acc)
+      in
+      let a = snap [ 0; 1; 2 ] in
+      checkb "merge order invariant" true
+        (a = snap [ 2; 0; 1 ] && a = snap [ 1; 2; 0 ]);
+      (* Nested grouping: (h0 + h1) + h2 = h0 + (h1 + h2). *)
+      let left =
+        let x = mk 0 in
+        Service.Histo.merge_into ~into:x (mk 1);
+        let acc = Service.Histo.create mode in
+        Service.Histo.merge_into ~into:acc x;
+        Service.Histo.merge_into ~into:acc (mk 2);
+        Option.get (Service.Histo.snapshot acc)
+      in
+      let right =
+        let y = mk 1 in
+        Service.Histo.merge_into ~into:y (mk 2);
+        let acc = Service.Histo.create mode in
+        Service.Histo.merge_into ~into:acc (mk 0);
+        Service.Histo.merge_into ~into:acc y;
+        Option.get (Service.Histo.snapshot acc)
+      in
+      checkb "merge associative" true (left = right && left = a))
+    [ `Exact; `Log ]
+
 (* {1 The atomic driver} *)
 
 let test_mc_driver_smoke () =
@@ -317,6 +596,42 @@ let test_zipf () =
     (fun k -> checkb "sample in range" true (k >= 0 && k < 8))
     (draw 4L)
 
+(* The O(1) alias sampler against the CDF binary-search oracle. For a
+   uniform power-of-two keyspace the two are draw-for-draw identical
+   (the alias table degenerates to the identity, and both floor the
+   same uniform); for skewed distributions the alias draw must match
+   the exact pmf to chi-square precision. *)
+let test_zipf_alias_matches_cdf () =
+  let z = Service.Zipf.create ~n:8 ~s:0.0 in
+  let r1 = Sim.Rng.create 5L and r2 = Sim.Rng.create 5L in
+  for i = 1 to 10_000 do
+    checki
+      (Printf.sprintf "uniform draw %d: alias = cdf" i)
+      (Service.Zipf.sample_cdf z r2)
+      (Service.Zipf.sample z r1)
+  done
+
+let test_zipf_alias_chi_square () =
+  let n = 64 in
+  let z = Service.Zipf.create ~n ~s:1.1 in
+  let draws = 200_000 in
+  let counts = Array.make n 0 in
+  let rng = Sim.Rng.create 9L in
+  for _ = 1 to draws do
+    let k = Service.Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let chi2 = ref 0.0 in
+  for i = 0 to n - 1 do
+    let expect = Service.Zipf.pmf z i *. float_of_int draws in
+    let d = float_of_int counts.(i) -. expect in
+    chi2 := !chi2 +. (d *. d /. expect)
+  done;
+  (* df = 63: the 99.9th percentile of chi^2_63 is ~103.4. The seed is
+     fixed, so this is a deterministic regression pin, not a flaky
+     statistical test. *)
+  checkb (Printf.sprintf "chi-square %.1f below 110" !chi2) true (!chi2 < 110.0)
+
 let test_arrival () =
   let times kind seed =
     let t = Service.Arrival.create kind (Sim.Rng.create seed) in
@@ -339,6 +654,16 @@ let test_arrival () =
     ]
 
 let test_backoff () =
+  (* The fused jitter draw must equal the composed derive/derive/draw
+     form bit-for-bit: the fusion exists only to skip boxing. *)
+  List.iter
+    (fun (seed, client, attempt) ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "jitter fusion (%Ld,%d,%d)" seed client attempt)
+        (Sim.Rng.float_of_seed
+           (Sim.Rng.derive (Sim.Rng.derive seed ~stream:client) ~stream:attempt))
+        (Sim.Rng.jitter_of_seed seed ~client ~attempt))
+    [ (11L, 4, 1); (11L, 4, 7); (42L, 0, 1); (0L, 999999, 63); (-3L, 17, 12) ];
   let exp = Service.Backoff.Exp { base = 8.0; cap = 512.0 } in
   let d a = Service.Backoff.delay exp ~seed:11L ~client:4 ~attempt:a in
   Alcotest.(check (float 0.0)) "deterministic" (d 3) (d 3);
@@ -400,6 +725,28 @@ let () =
           Alcotest.test_case "chaos recovers wedged keys" `Quick
             test_driver_chaos_recovers;
           Alcotest.test_case "sheds overload" `Quick test_driver_sheds_overload;
+          Alcotest.test_case "retry-on-shed: partition + engine parity" `Quick
+            test_driver_retry_on_shed;
+          Alcotest.test_case "shards are report-invisible" `Quick
+            test_driver_shards_identical;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "wheel = heap (120 seeds per dual entry)" `Slow
+            test_wheel_matches_heap;
+          Alcotest.test_case "wheel = heap under chaos (120 seeds)" `Slow
+            test_wheel_matches_heap_chaos;
+          Alcotest.test_case "wheel ordering torture" `Quick
+            test_wheel_ordering;
+          Alcotest.test_case "wheel steady state allocates nothing" `Quick
+            test_wheel_zero_alloc;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "histogram tracks exact" `Quick
+            test_latency_hist_close_to_exact;
+          Alcotest.test_case "merge associative + commutative" `Quick
+            test_histo_merge_associative;
         ] );
       ( "mc-driver",
         [
@@ -410,6 +757,10 @@ let () =
       ( "workload",
         [
           Alcotest.test_case "zipf" `Quick test_zipf;
+          Alcotest.test_case "zipf alias = cdf oracle" `Quick
+            test_zipf_alias_matches_cdf;
+          Alcotest.test_case "zipf alias chi-square" `Quick
+            test_zipf_alias_chi_square;
           Alcotest.test_case "arrival" `Quick test_arrival;
           Alcotest.test_case "backoff" `Quick test_backoff;
           Alcotest.test_case "registry dual" `Quick test_registry_dual;
